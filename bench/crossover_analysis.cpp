@@ -1,0 +1,74 @@
+// Crossover study: why the paper's final design is a *hybrid*
+// (Section V: "While GLocks provide lightning-fast lock acquisition and
+// release for highly-contended locks, the Simple Locks result in the
+// best performance for low-contended locks").
+//
+// Sweeps the contention level on SCTR two ways — think time between
+// critical sections, and number of contending cores — and reports the
+// per-critical-section cost of TATAS vs MCS vs GLock. TATAS should win
+// or tie when contention vanishes (its uncontended fast path is one
+// cached test&set, with no queue or token machinery), while GLocks take
+// over as contention rises; MCS pays its queue overhead at both ends.
+#include <cstdio>
+#include <string>
+
+#include "bench_support.hpp"
+#include "workloads/micro.hpp"
+
+namespace {
+
+using namespace glocks;
+
+double per_cs_cycles(locks::LockKind kind, std::uint32_t cores,
+                     std::uint64_t think) {
+  workloads::MicroParams p;
+  p.total_iterations = 640;
+  p.think_cycles = think;
+  workloads::SingleCounter wl(p);
+  harness::RunConfig cfg = bench::paper_config(kind);
+  cfg.cmp.num_cores = cores;
+  const auto r = harness::run_workload(wl, cfg);
+  // Subtract the think time each thread spends outside the lock so the
+  // number isolates synchronization + critical-section cost.
+  const double total = static_cast<double>(r.cycles);
+  const double per_thread_iters =
+      static_cast<double>(p.total_iterations) / cores;
+  return (total - static_cast<double>(think) * per_thread_iters) /
+         static_cast<double>(p.total_iterations) * cores;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Crossover: when does each lock win? "
+                      "(SCTR, per-thread cost per critical section)");
+
+  std::printf("\nsweep 1: think time between CSs (32 cores)\n");
+  std::printf("%-10s %10s %10s %10s\n", "think", "tatas", "mcs", "glock");
+  for (const std::uint64_t think : {0ull, 200ull, 1000ull, 5000ull,
+                                    20000ull}) {
+    std::printf("%-10llu", static_cast<unsigned long long>(think));
+    for (const auto kind :
+         {locks::LockKind::kTatas, locks::LockKind::kMcs,
+          locks::LockKind::kGlock}) {
+      std::printf(" %10.0f", per_cs_cycles(kind, 32, think));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nsweep 2: contending cores (no think time)\n");
+  std::printf("%-10s %10s %10s %10s\n", "cores", "tatas", "mcs", "glock");
+  for (const std::uint32_t cores : {1u, 2u, 4u, 9u, 16u, 32u}) {
+    std::printf("%-10u", cores);
+    for (const auto kind :
+         {locks::LockKind::kTatas, locks::LockKind::kMcs,
+          locks::LockKind::kGlock}) {
+      std::printf(" %10.0f", per_cs_cycles(kind, cores, 0));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(the hybrid policy: TATAS for quiet locks — cheapest "
+              "uncontended fast path — and GLocks where contention "
+              "concentrates)\n");
+  return 0;
+}

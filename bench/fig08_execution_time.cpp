@@ -1,0 +1,43 @@
+// Reproduces paper Figure 8: normalized execution time of every benchmark
+// with GLocks (GL) vs MCS locks for the highly-contended locks, broken
+// down into Busy / Memory / Barrier / Lock categories. Also prints the
+// microbenchmark and application averages (AvgM / AvgA).
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header(
+      "Figure 8: normalized execution time (GL vs MCS, 32 cores)");
+  std::printf("%-7s %-4s %8s %8s  %6s %6s %6s %6s\n", "bench", "cfg",
+              "cycles", "norm", "busy", "mem", "barr", "lock");
+
+  std::vector<double> micro_norm, app_norm;
+  for (const auto& entry : workloads::registry()) {
+    const auto mcs = bench::run(entry.name, locks::LockKind::kMcs);
+    const auto gl = bench::run(entry.name, locks::LockKind::kGlock);
+    const double norm = static_cast<double>(gl.cycles) /
+                        static_cast<double>(mcs.cycles);
+    for (const auto* r : {&mcs, &gl}) {
+      std::printf("%-7s %-4s %8llu %8.3f  %6.3f %6.3f %6.3f %6.3f\n",
+                  entry.name.c_str(), r == &mcs ? "MCS" : "GL",
+                  static_cast<unsigned long long>(r->cycles),
+                  r == &mcs ? 1.0 : norm, r->busy_fraction(),
+                  r->memory_fraction(), r->barrier_fraction(),
+                  r->lock_fraction());
+    }
+    (entry.is_microbenchmark ? micro_norm : app_norm).push_back(norm);
+  }
+
+  const double avg_m = bench::mean(micro_norm);
+  const double avg_a = bench::mean(app_norm);
+  std::printf("\nAvgM (microbenchmarks): normalized time %.3f "
+              "(paper: ~0.58, i.e. 42%% reduction)\n", avg_m);
+  std::printf("AvgA (applications):    normalized time %.3f "
+              "(paper: ~0.86, i.e. 14%% reduction)\n", avg_a);
+  std::printf("\nReduction in execution time: micro %.1f%%, apps %.1f%%\n",
+              100.0 * (1.0 - avg_m), 100.0 * (1.0 - avg_a));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Figure 9: total main-data-network traffic (bytes
+// through all switches) normalized to MCS, broken down into Coherence /
+// Request / Reply message classes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header(
+      "Figure 9: normalized network traffic (GL vs MCS, 32 cores)");
+  std::printf("%-7s %-4s %12s %8s  %8s %8s %8s\n", "bench", "cfg", "bytes",
+              "norm", "coher", "request", "reply");
+
+  std::vector<double> micro_norm, app_norm;
+  for (const auto& entry : workloads::registry()) {
+    const auto mcs = bench::run(entry.name, locks::LockKind::kMcs);
+    const auto gl = bench::run(entry.name, locks::LockKind::kGlock);
+    const double base = static_cast<double>(mcs.traffic.total_bytes());
+    for (const auto* r : {&mcs, &gl}) {
+      const auto& tr = r->traffic;
+      std::printf("%-7s %-4s %12llu %8.3f  %8.3f %8.3f %8.3f\n",
+                  entry.name.c_str(), r == &mcs ? "MCS" : "GL",
+                  static_cast<unsigned long long>(tr.total_bytes()),
+                  static_cast<double>(tr.total_bytes()) / base,
+                  static_cast<double>(
+                      tr.bytes(noc::MsgClass::kCoherence)) / base,
+                  static_cast<double>(tr.bytes(noc::MsgClass::kRequest)) /
+                      base,
+                  static_cast<double>(tr.bytes(noc::MsgClass::kReply)) /
+                      base);
+    }
+    const double norm = static_cast<double>(gl.traffic.total_bytes()) / base;
+    (entry.is_microbenchmark ? micro_norm : app_norm).push_back(norm);
+  }
+
+  std::printf("\nAvgM: normalized traffic %.3f (paper: ~0.24, i.e. 76%% "
+              "reduction)\n", bench::mean(micro_norm));
+  std::printf("AvgA: normalized traffic %.3f (paper: ~0.77, i.e. 23%% "
+              "reduction)\n", bench::mean(app_norm));
+  return 0;
+}

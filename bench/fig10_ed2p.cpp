@@ -1,0 +1,32 @@
+// Reproduces paper Figure 10: energy-delay^2 product (ED2P) for the full
+// CMP, normalized to MCS. The energy model covers cores, caches,
+// directory, interconnect, off-chip memory and the G-line network
+// (constants documented in power/energy_model.hpp).
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Figure 10: normalized ED2P for the full CMP "
+                      "(GL vs MCS, 32 cores)");
+  std::printf("%-7s %10s %10s %8s   %s\n", "bench", "E(uJ) MCS", "E(uJ) GL",
+              "ED2P", "(GL normalized to MCS)");
+
+  std::vector<double> micro_norm, app_norm;
+  for (const auto& entry : workloads::registry()) {
+    const auto mcs = bench::run(entry.name, locks::LockKind::kMcs);
+    const auto gl = bench::run(entry.name, locks::LockKind::kGlock);
+    const double norm = gl.ed2p / mcs.ed2p;
+    std::printf("%-7s %10.2f %10.2f %8.3f\n", entry.name.c_str(),
+                mcs.energy.total() / 1e6, gl.energy.total() / 1e6, norm);
+    (entry.is_microbenchmark ? micro_norm : app_norm).push_back(norm);
+  }
+
+  std::printf("\nAvgM: normalized ED2P %.3f (paper: ~0.22, i.e. 78%% "
+              "reduction)\n", bench::mean(micro_norm));
+  std::printf("AvgA: normalized ED2P %.3f (paper: ~0.72, i.e. 28%% "
+              "reduction)\n", bench::mean(app_norm));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// The full hardware story: every benchmark under the best software lock
+// (MCS) and all three hardware schemes — SB (hardware queue, grants via
+// the home over the main network), QOLB (hardware queue, direct
+// cache-to-cache handoff), GLocks (dedicated G-line network). This is the
+// comparison the paper's Section II sets up verbally; each column to the
+// right removes one more main-network cost from the lock path.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Hardware lock schemes across all benchmarks "
+                      "(execution time normalized to MCS, 32 cores)");
+  std::printf("%-7s %8s %8s %8s %8s\n", "bench", "mcs", "sb", "qolb",
+              "glock");
+
+  const locks::LockKind kinds[] = {locks::LockKind::kMcs,
+                                   locks::LockKind::kSb,
+                                   locks::LockKind::kQolb,
+                                   locks::LockKind::kGlock};
+  std::vector<double> sums(4, 0.0);
+  int n = 0;
+  for (const auto& entry : workloads::registry()) {
+    std::printf("%-7s", entry.name.c_str());
+    double base = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const auto r = bench::run(entry.name, kinds[k]);
+      if (k == 0) base = static_cast<double>(r.cycles);
+      const double norm = static_cast<double>(r.cycles) / base;
+      sums[k] += norm;
+      std::printf(" %8.3f", norm);
+    }
+    std::printf("\n");
+    ++n;
+  }
+  std::printf("%-7s", "Avg");
+  for (std::size_t k = 0; k < 4; ++k) {
+    std::printf(" %8.3f", sums[k] / n);
+  }
+  std::printf("\n\n(each column removes one main-network cost: SB = local "
+              "spin, QOLB = +direct handoff,\nGLocks = lock traffic off "
+              "the data network entirely)\n");
+  return 0;
+}

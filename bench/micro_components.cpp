@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the simulator's own components:
+// how fast the host machine simulates routers, cache operations, G-line
+// protocol rounds, and whole small CMPs. These guard against performance
+// regressions in the simulator itself (wall-clock per simulated cycle).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/thread.hpp"
+#include "gline/glock_unit.hpp"
+#include "harness/runner.hpp"
+#include "noc/mesh.hpp"
+#include "workloads/micro.hpp"
+
+namespace {
+
+using namespace glocks;
+
+void BM_MeshIdleTick(benchmark::State& state) {
+  const auto tiles = static_cast<std::uint32_t>(state.range(0));
+  const auto width =
+      static_cast<std::uint32_t>(std::lround(std::sqrt(tiles)));
+  noc::Mesh mesh(tiles, width, NocConfig{});
+  Cycle now = 0;
+  for (auto _ : state) {
+    mesh.tick(now++);
+  }
+  state.SetItemsProcessed(state.iterations() * tiles);
+}
+BENCHMARK(BM_MeshIdleTick)->Arg(16)->Arg(36)->Arg(64);
+
+void BM_MeshPingTraffic(benchmark::State& state) {
+  noc::Mesh mesh(36, 6, NocConfig{});
+  std::uint64_t delivered = 0;
+  mesh.set_sink(35, [&](noc::Packet&&) { ++delivered; });
+  Cycle now = 0;
+  for (auto _ : state) {
+    mesh.send(0, 35, noc::MsgClass::kRequest, 8, nullptr);
+    // Drain: corner-to-corner is 10 hops of 4 cycles plus ejection.
+    for (int i = 0; i < 48; ++i) mesh.tick(now++);
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_MeshPingTraffic);
+
+void BM_GlockUnitUncontendedRound(benchmark::State& state) {
+  // One core requests, is granted, and releases, repeatedly.
+  std::vector<core::LockRegisters> regs(9, core::LockRegisters(1));
+  std::vector<core::LockRegisters*> reg_ptrs;
+  for (auto& r : regs) reg_ptrs.push_back(&r);
+  gline::GlockUnit unit(0, 9, 3, 1, reg_ptrs);
+  Cycle now = 0;
+  for (auto _ : state) {
+    regs[4].req[0] = true;
+    while (regs[4].req[0]) unit.tick(now++);
+    regs[4].rel[0] = true;
+    while (regs[4].rel[0]) unit.tick(now++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GlockUnitUncontendedRound);
+
+void BM_FullSctrRun(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    workloads::MicroParams p;
+    p.total_iterations = 64;
+    workloads::SingleCounter wl(p);
+    harness::RunConfig cfg;
+    cfg.cmp.num_cores = cores;
+    cfg.policy.highly_contended = locks::LockKind::kGlock;
+    const auto r = harness::run_workload(wl, cfg);
+    benchmark::DoNotOptimize(r.cycles);
+    state.counters["sim_cycles"] = static_cast<double>(r.cycles);
+  }
+}
+BENCHMARK(BM_FullSctrRun)->Arg(9)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

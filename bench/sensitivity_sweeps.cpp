@@ -1,0 +1,71 @@
+// Sensitivity study: how robust is the GLocks-vs-MCS result to machine
+// parameters the paper fixed in Table II? Sweeps memory latency, L2 tag
+// latency, mesh link latency and core count on SCTR, reporting the GL/MCS
+// execution-time ratio at each point. The ratio should stay well below 1
+// everywhere — the advantage is structural (lock traffic leaves the
+// coherence fabric), not an artifact of one configuration.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "workloads/micro.hpp"
+
+namespace {
+
+using namespace glocks;
+
+double ratio_at(const CmpConfig& machine) {
+  double cycles[2] = {0, 0};
+  int i = 0;
+  for (const auto kind :
+       {locks::LockKind::kMcs, locks::LockKind::kGlock}) {
+    workloads::SingleCounter wl;
+    harness::RunConfig cfg;
+    cfg.cmp = machine;
+    cfg.policy.highly_contended = kind;
+    cycles[i++] = static_cast<double>(harness::run_workload(wl, cfg).cycles);
+  }
+  return cycles[1] / cycles[0];
+}
+
+}  // namespace
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Sensitivity: GL/MCS time ratio on SCTR across "
+                      "machine parameters");
+
+  std::printf("\nmemory latency (cycles):\n");
+  for (const Cycle ml : {100u, 200u, 400u, 800u}) {
+    CmpConfig m;
+    m.memory_latency = ml;
+    std::printf("  %4llu: GL/MCS = %.3f\n",
+                static_cast<unsigned long long>(ml), ratio_at(m));
+  }
+
+  std::printf("\nL2 tag latency (cycles):\n");
+  for (const Cycle tl : {6u, 12u, 24u}) {
+    CmpConfig m;
+    m.l2.tag_latency = tl;
+    std::printf("  %4llu: GL/MCS = %.3f\n",
+                static_cast<unsigned long long>(tl), ratio_at(m));
+  }
+
+  std::printf("\nmesh link latency (cycles):\n");
+  for (const Cycle ll : {1u, 2u, 4u}) {
+    CmpConfig m;
+    m.noc.link_latency = ll;
+    std::printf("  %4llu: GL/MCS = %.3f\n",
+                static_cast<unsigned long long>(ll), ratio_at(m));
+  }
+
+  std::printf("\ncore count:\n");
+  for (const std::uint32_t c : {8u, 16u, 32u, 49u}) {
+    CmpConfig m;
+    m.num_cores = c;
+    std::printf("  %4u: GL/MCS = %.3f\n", c, ratio_at(m));
+  }
+
+  std::printf("\n(the ratio should stay < 1 at every point, improving "
+              "with core count and remote-access cost)\n");
+  return 0;
+}

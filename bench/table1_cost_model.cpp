@@ -1,0 +1,29 @@
+// Reproduces paper Table I: the hardware/software cost of GLocks on a
+// 2D-mesh layout, both analytically (CostModel) and as measured from a
+// constructed GlockUnit (G-line count must match C - 1).
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "gline/gline_system.hpp"
+#include "harness/cmp_system.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Table I: HW/SW cost of GLocks per lock "
+                      "(2D-mesh CMP layout)");
+  for (const std::uint32_t c : {9u, 16u, 32u, 49u}) {
+    const auto m = gline::CostModel::for_cores(c);
+    std::printf("\n--- C = %u cores ---\n%s", c, m.to_table().c_str());
+
+    // Cross-check the analytic wire count against the built hardware.
+    CmpConfig cfg;
+    cfg.num_cores = c;
+    harness::CmpSystem sys(cfg);
+    std::printf("measured G-lines in the built unit: %u "
+                "(analytic C-1 = %u)\n",
+                sys.glines().unit(0).num_glines(), m.glines);
+    std::printf("measured secondary managers:        %u\n",
+                sys.glines().unit(0).num_secondary_managers());
+  }
+  return 0;
+}

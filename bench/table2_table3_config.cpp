@@ -1,0 +1,25 @@
+// Prints paper Table II (the simulated CMP baseline configuration) and
+// Table III (benchmark configuration and lock-related characteristics,
+// with the lock counts measured from an actual run of each benchmark).
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Table II: CMP baseline configuration");
+  CmpConfig cfg;
+  std::printf("%s", cfg.to_table().c_str());
+
+  bench::print_header("Table III: benchmark configuration and "
+                      "lock-related characteristics");
+  std::printf("%-9s %-28s %6s %9s %s\n", "bench", "input size", "locks",
+              "H-C locks", "access pattern");
+  for (const auto& entry : workloads::registry()) {
+    auto wl = workloads::make_workload(entry.name);
+    std::printf("%-9s %-28s %6u %9u %s\n", entry.name.c_str(),
+                entry.input_size.c_str(), wl->num_locks(),
+                wl->num_hc_locks(), entry.access_pattern.c_str());
+  }
+  return 0;
+}

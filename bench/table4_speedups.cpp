@@ -1,0 +1,31 @@
+// Reproduces paper Table IV: speedups of the three applications at
+// 4/8/16/32 cores with MCS vs GLocks for the highly-contended locks.
+// Speedup = T(1 core) / T(n cores) with the same lock configuration.
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace glocks;
+  bench::print_header("Table IV: application speedups (MCS vs GL)");
+  std::printf("%-9s %-5s %8s %8s %8s %8s\n", "bench", "lock", "4", "8",
+              "16", "32");
+
+  for (const auto& name : workloads::application_names()) {
+    for (const locks::LockKind kind :
+         {locks::LockKind::kMcs, locks::LockKind::kGlock}) {
+      const auto t1 = bench::run(name, kind, 1);
+      std::printf("%-9s %-5s ", name.c_str(),
+                  kind == locks::LockKind::kMcs ? "MCS" : "GL");
+      for (const std::uint32_t cores : {4u, 8u, 16u, 32u}) {
+        const auto tn = bench::run(name, kind, cores);
+        std::printf("%8.2f ", static_cast<double>(t1.cycles) /
+                                  static_cast<double>(tn.cycles));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(paper at 32 cores: RAYTR 20.69/28.78, OCEAN 23.62/25.66, "
+              "QSORT 11.38/12.40 for MCS/GL)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Writing your own workload against the public API.
+//
+// This example builds a small bank-transfer benchmark from scratch: N
+// accounts protected by one highly-contended lock, random transfers, a
+// final audit that the total balance is conserved. It shows the full
+// surface a user touches: Workload, WorkloadContext (heap / locks /
+// barriers / rng), ThreadApi micro-ops, and post-run verification.
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace {
+
+using namespace glocks;
+using core::Task;
+using core::ThreadApi;
+
+class BankTransfers final : public harness::Workload {
+ public:
+  static constexpr std::uint32_t kAccounts = 24;
+  static constexpr Word kInitialBalance = 1000;
+  static constexpr int kTransfersPerThread = 40;
+
+  std::string name() const override { return "bank-transfers"; }
+  std::uint32_t num_locks() const override { return 1; }
+  std::uint32_t num_hc_locks() const override { return 1; }
+
+  void setup(harness::WorkloadContext& ctx) override {
+    accounts_ = ctx.heap().alloc_lines(kAccounts);  // one line each
+    for (std::uint32_t i = 0; i < kAccounts; ++i) {
+      ctx.memory().poke(account(i), kInitialBalance);
+    }
+    ledger_lock_ = &ctx.make_lock("ledger", /*highly_contended=*/true);
+    done_barrier_ = &ctx.make_tree_barrier();
+    // Pre-plan the transfers so the run is deterministic per seed.
+    plans_.assign(ctx.num_threads(), {});
+    for (auto& plan : plans_) {
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        plan.push_back(Transfer{
+            static_cast<std::uint32_t>(ctx.rng().below(kAccounts)),
+            static_cast<std::uint32_t>(ctx.rng().below(kAccounts)),
+            1 + ctx.rng().below(50)});
+      }
+    }
+  }
+
+  core::Task<void> thread_body(ThreadApi& t,
+                               harness::WorkloadContext&) override {
+    return run_thread(t, this);
+  }
+
+  void verify(harness::WorkloadContext& ctx) override {
+    Word total = 0;
+    for (std::uint32_t i = 0; i < kAccounts; ++i) {
+      total += ctx.peek(account(i));
+    }
+    GLOCKS_CHECK(total == Word{kAccounts} * kInitialBalance,
+                 "money was created or destroyed: " << total);
+  }
+
+ private:
+  struct Transfer {
+    std::uint32_t from, to;
+    Word amount;
+  };
+
+  Addr account(std::uint32_t i) const {
+    return accounts_ + Addr{i} * kLineBytes;
+  }
+
+  // A free-standing coroutine (not a capturing lambda — see CP.51).
+  static Task<void> run_thread(ThreadApi& t, BankTransfers* self) {
+    for (const auto& tr : self->plans_[t.thread_id()]) {
+      if (tr.from == tr.to) continue;  // a self-transfer is a no-op
+      co_await self->ledger_lock_->acquire(t);
+      const Word from = co_await t.load(self->account(tr.from));
+      if (from >= tr.amount) {
+        const Word to = co_await t.load(self->account(tr.to));
+        co_await t.store(self->account(tr.from), from - tr.amount);
+        co_await t.store(self->account(tr.to), to + tr.amount);
+      }
+      co_await self->ledger_lock_->release(t);
+      co_await t.compute(10);  // think time between transfers
+    }
+    co_await self->done_barrier_->await(t);
+  }
+
+  Addr accounts_ = 0;
+  locks::Lock* ledger_lock_ = nullptr;
+  sync::Barrier* done_barrier_ = nullptr;
+  std::vector<std::vector<Transfer>> plans_;
+};
+
+}  // namespace
+
+int main() {
+  BankTransfers wl;
+  harness::RunConfig cfg;  // 32 cores, Table II machine
+
+  std::printf("bank-transfers on a 32-core CMP\n\n");
+  for (const auto kind :
+       {locks::LockKind::kTatas, locks::LockKind::kMcs,
+        locks::LockKind::kGlock}) {
+    cfg.policy.highly_contended = kind;
+    const auto r = harness::run_workload(wl, cfg);
+    std::printf("%-8s %8llu cycles   lock fraction %.2f   traffic %llu B\n",
+                std::string(locks::to_string(kind)).c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                r.lock_fraction(),
+                static_cast<unsigned long long>(r.traffic.total_bytes()));
+  }
+  std::printf("\n(audit passed: total balance conserved under every lock)\n");
+  return 0;
+}

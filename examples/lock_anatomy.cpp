@@ -1,0 +1,61 @@
+// Lock anatomy: dissects a single critical section under each lock
+// implementation, printing the protocol-level events it generates —
+// coherence messages, network bytes, G-line signals, directory work —
+// for two regimes: uncontended (1 of 9 cores) and fully contended
+// (9 of 9 cores). A guided tour of *why* the Figure 8/9 numbers happen.
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "workloads/micro.hpp"
+
+namespace {
+
+void show(const char* title, const glocks::harness::RunResult& r,
+          std::uint64_t css) {
+  using u = unsigned long long;
+  std::printf("%-14s per-CS: %7.1f cycles | L1 misses %5.1f | inv %4.1f | "
+              "c2c fwd %4.1f | mesh bytes %7.1f | G-signals %4.1f\n",
+              title, static_cast<double>(r.cycles) / css,
+              static_cast<double>(r.l1.misses) / css,
+              static_cast<double>(r.dir.invalidations_sent) / css,
+              static_cast<double>(r.dir.forwards_sent) / css,
+              static_cast<double>(r.traffic.total_bytes()) / css,
+              static_cast<double>(r.gline.signals) / css);
+  (void)sizeof(u);
+}
+
+}  // namespace
+
+int main() {
+  using namespace glocks;
+  std::printf("What one critical section costs, by lock kind "
+              "(SCTR, 9-core CMP)\n");
+
+  for (const bool contended : {false, true}) {
+    std::printf("\n--- %s ---\n",
+                contended ? "contended: all 9 cores hammering"
+                          : "uncontended: single thread");
+    for (const auto kind :
+         {locks::LockKind::kSimple, locks::LockKind::kTatas,
+          locks::LockKind::kTicket, locks::LockKind::kArray,
+          locks::LockKind::kMcs, locks::LockKind::kGlock,
+          locks::LockKind::kIdeal}) {
+      workloads::MicroParams p;
+      p.total_iterations = 270;
+      workloads::SingleCounter wl(p);
+      harness::RunConfig cfg;
+      cfg.cmp.num_cores = contended ? 9 : 1;
+      cfg.policy.highly_contended = kind;
+      const auto r = harness::run_workload(wl, cfg);
+      show(std::string(locks::to_string(kind)).c_str(), r,
+           p.total_iterations);
+    }
+  }
+  std::printf(
+      "\nReading guide: under contention the spin locks turn every release\n"
+      "into an invalidation storm (inv/CS grows with cores); the queue\n"
+      "locks bound it to ~1 handoff; GLocks remove lock messages from the\n"
+      "mesh entirely — the residual misses are the shared counter itself.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate the paper's 32-core CMP running the SCTR
+// microbenchmark, once with MCS locks and once with hardware GLocks, and
+// print the headline comparison (execution time, network traffic, ED2P).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "workloads/micro.hpp"
+
+int main() {
+  using namespace glocks;
+
+  harness::RunConfig cfg;         // Table II defaults: 32 cores, 2D mesh
+  workloads::MicroParams params;  // Table III defaults: 1000 iterations
+  workloads::SingleCounter sctr(params);
+
+  cfg.policy.highly_contended = locks::LockKind::kMcs;
+  const auto mcs = harness::run_workload(sctr, cfg);
+
+  cfg.policy.highly_contended = locks::LockKind::kGlock;
+  const auto gl = harness::run_workload(sctr, cfg);
+
+  std::printf("SCTR on a %u-core CMP (%llu critical sections)\n\n",
+              cfg.cmp.num_cores,
+              static_cast<unsigned long long>(params.total_iterations));
+  std::printf("%-28s %15s %15s\n", "metric", "MCS", "GLocks");
+  std::printf("%-28s %15llu %15llu\n", "execution time (cycles)",
+              static_cast<unsigned long long>(mcs.cycles),
+              static_cast<unsigned long long>(gl.cycles));
+  std::printf("%-28s %15llu %15llu\n", "network traffic (bytes)",
+              static_cast<unsigned long long>(mcs.traffic.total_bytes()),
+              static_cast<unsigned long long>(gl.traffic.total_bytes()));
+  std::printf("%-28s %15.3f %15.3f\n", "lock time fraction",
+              mcs.lock_fraction(), gl.lock_fraction());
+  std::printf("%-28s %15.2f %15.2f\n", "energy (uJ)",
+              mcs.energy.total() / 1e6, gl.energy.total() / 1e6);
+  std::printf("\nGLocks vs MCS: %.1f%% less time, %.1f%% less traffic, "
+              "%.1f%% less ED2P\n",
+              100.0 * (1.0 - static_cast<double>(gl.cycles) /
+                                 static_cast<double>(mcs.cycles)),
+              100.0 * (1.0 - static_cast<double>(gl.traffic.total_bytes()) /
+                                 static_cast<double>(
+                                     mcs.traffic.total_bytes())),
+              100.0 * (1.0 - gl.ed2p / mcs.ed2p));
+  return 0;
+}

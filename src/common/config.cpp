@@ -1,0 +1,65 @@
+#include "common/config.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace glocks {
+
+namespace {
+
+bool is_pow2(std::uint32_t v) { return v != 0 && std::has_single_bit(v); }
+
+}  // namespace
+
+std::uint32_t CmpConfig::mesh_width() const {
+  // Smallest W with W*H >= num_cores and W >= H; perfect squares (the
+  // paper's layouts) give W == H == sqrt(C).
+  auto w = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_cores))));
+  return w;
+}
+
+std::uint32_t CmpConfig::mesh_height() const {
+  const std::uint32_t w = mesh_width();
+  return (num_cores + w - 1) / w;
+}
+
+void CmpConfig::validate() const {
+  GLOCKS_CHECK(num_cores >= 1, "need at least one core");
+  GLOCKS_CHECK(num_cores <= 1024, "mesh model capped at 1024 cores");
+  GLOCKS_CHECK(issue_width >= 1, "issue width must be positive");
+  GLOCKS_CHECK(is_pow2(l1.num_sets()),
+               "L1 sets must be a power of two, got " << l1.num_sets());
+  GLOCKS_CHECK(is_pow2(l2.num_sets()),
+               "L2 sets must be a power of two, got " << l2.num_sets());
+  GLOCKS_CHECK(l1.ways >= 1 && l2.ways >= 1, "associativity must be >= 1");
+  GLOCKS_CHECK(noc.link_width_bytes >= noc.data_msg_bytes,
+               "link narrower than a data message; the one-flit-per-message "
+               "model requires link_width_bytes >= data_msg_bytes");
+  GLOCKS_CHECK(noc.input_queue_depth >= 1, "router queues must hold >= 1");
+  GLOCKS_CHECK(gline.signal_latency >= 1, "G-line latency must be >= 1");
+}
+
+std::string CmpConfig::to_table() const {
+  std::ostringstream oss;
+  oss << "Number of cores      " << num_cores << "\n"
+      << "Core                 " << (clock_mhz / 1000.0) << "GHz, in-order "
+      << issue_width << "-way model\n"
+      << "Cache line size      " << kLineBytes << " Bytes\n"
+      << "L1 I/D-Cache         " << (l1.size_bytes / 1024) << "KB, "
+      << l1.ways << "-way, " << l1.access_latency << " cycles\n"
+      << "L2 Cache (per core)  " << (l2.slice_size_bytes / 1024) << "KB, "
+      << l2.ways << "-way, " << l2.tag_latency << "+" << l2.data_latency
+      << " cycles\n"
+      << "Memory access time   " << memory_latency << " cycles\n"
+      << "Network config       " << mesh_width() << "x" << mesh_height()
+      << " 2D-mesh\n"
+      << "Link width           " << noc.link_width_bytes << " bytes\n"
+      << "Hardware GLocks      " << gline.num_glocks << "\n";
+  return oss.str();
+}
+
+}  // namespace glocks

@@ -1,0 +1,116 @@
+// CMP configuration: the knobs of the simulated machine.
+//
+// Defaults reproduce Table II of the paper (32-core tiled CMP, 3 GHz
+// in-order 2-way cores, 32KB 4-way L1s with 2-cycle access, 256KB-per-core
+// 4-way shared distributed L2 with 12+4-cycle access, 400-cycle memory,
+// 2D mesh with 75-byte links).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace glocks {
+
+/// L1 cache geometry and timing.
+struct L1Config {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t ways = 4;
+  Cycle access_latency = 2;
+
+  std::uint32_t num_sets() const {
+    return size_bytes / (ways * kLineBytes);
+  }
+};
+
+/// Per-tile slice of the shared distributed L2.
+struct L2Config {
+  std::uint32_t slice_size_bytes = 256 * 1024;
+  std::uint32_t ways = 4;
+  /// Tag + directory lookup portion of the access (paper: "12+4 cycles").
+  Cycle tag_latency = 12;
+  /// Data array portion of the access.
+  Cycle data_latency = 4;
+
+  std::uint32_t num_sets() const {
+    return slice_size_bytes / (ways * kLineBytes);
+  }
+};
+
+/// 2D-mesh on-chip network parameters.
+struct NocConfig {
+  /// Router pipeline depth in cycles (per hop).
+  Cycle router_latency = 3;
+  /// Link traversal in cycles (per hop).
+  Cycle link_latency = 1;
+  /// Link width in bytes (Table II: 75 bytes — any protocol message fits in
+  /// one flit, so serialization never adds cycles).
+  std::uint32_t link_width_bytes = 75;
+  /// Bound on each router input FIFO; requests stall upstream when full.
+  std::uint32_t input_queue_depth = 16;
+  /// Size in bytes of a control (address-only) message.
+  std::uint32_t control_msg_bytes = 8;
+  /// Size in bytes of a message carrying a full cache line.
+  std::uint32_t data_msg_bytes = 8 + kLineBytes;
+};
+
+/// Dedicated G-line lock network parameters (paper Section III).
+struct GlineConfig {
+  /// Number of hardware GLocks provisioned (paper Section IV-C: two).
+  std::uint32_t num_glocks = 2;
+  /// Number of hardware G-line barrier units ([22]; used by the barrier
+  /// ablation — the paper's own evaluation uses the software tree
+  /// barrier, which stays the default in workloads).
+  std::uint32_t num_gbarriers = 1;
+  /// Cycles for a 1-bit signal to cross one dimension of the chip. The
+  /// baseline technology gives 1; the future-work scaling path (Section V)
+  /// explores longer-latency G-lines, exercised by the ablation bench.
+  Cycle signal_latency = 1;
+  /// Build the Section V hierarchical G-line network (arbitrary-depth
+  /// token tree) instead of the flat two-level design, lifting the 7x7
+  /// mesh bound at unit signal latency.
+  bool hierarchical = false;
+  /// Max transmitters a single G-line supports (Section III-F cites six,
+  /// bounding the baseline design at 7x7 meshes). The per-transmitter
+  /// wiring used here never shares a line, but the bound still limits the
+  /// manager fan-in per row.
+  std::uint32_t max_transmitters_per_line = 6;
+};
+
+/// Whole-machine configuration (paper Table II defaults).
+struct CmpConfig {
+  std::uint32_t num_cores = 32;
+  /// Core clock in MHz (3 GHz). Only used to convert cycles to seconds in
+  /// energy reporting.
+  std::uint32_t clock_mhz = 3000;
+  /// In-order issue width. The core model retires up to this many
+  /// non-memory micro-ops per cycle.
+  std::uint32_t issue_width = 2;
+  Cycle memory_latency = 400;
+
+  L1Config l1;
+  L2Config l2;
+  NocConfig noc;
+  GlineConfig gline;
+
+  /// Hard stop for runaway simulations.
+  Cycle max_cycles = 2'000'000'000;
+
+  /// Mesh width: cores are laid out on the smallest WxH grid with W >= H.
+  std::uint32_t mesh_width() const;
+  std::uint32_t mesh_height() const;
+  /// Total router tiles (W*H). Tiles with id >= num_cores are
+  /// router-only pass-throughs that keep the mesh rectangular so XY
+  /// routing is always well-defined.
+  std::uint32_t mesh_tiles() const { return mesh_width() * mesh_height(); }
+
+  /// Throws SimError when the configuration is internally inconsistent
+  /// (e.g. non-power-of-two sets, zero cores).
+  void validate() const;
+
+  /// Multi-line human-readable dump in the style of paper Table II.
+  std::string to_table() const;
+};
+
+}  // namespace glocks

@@ -1,0 +1,23 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+namespace glocks {
+
+std::uint64_t Histogram::total(std::uint32_t first, std::uint32_t last) const {
+  last = std::min<std::uint32_t>(last, max_bin());
+  std::uint64_t sum = 0;
+  for (std::uint32_t b = first; b <= last && b < counts_.size(); ++b) {
+    sum += counts_[b];
+  }
+  return sum;
+}
+
+double Histogram::fraction(std::uint32_t first, std::uint32_t last) const {
+  const std::uint64_t denom = total(1);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(total(std::max(first, 1u), last)) /
+         static_cast<double>(denom);
+}
+
+}  // namespace glocks

@@ -1,0 +1,41 @@
+// Fundamental value types shared by every glocks module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace glocks {
+
+/// Simulated clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Physical byte address in the simulated machine.
+using Addr = std::uint64_t;
+
+/// Index of a tile/core in the CMP (0 .. num_cores-1).
+using CoreId = std::uint32_t;
+
+/// Index of a hardware GLock resource.
+using GlockId = std::uint32_t;
+
+/// 64-bit word: the granularity of simulated loads/stores.
+using Word = std::uint64_t;
+
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+inline constexpr CoreId kNoCore = ~CoreId{0};
+
+/// Cache line geometry used throughout (paper Table II: 64-byte lines).
+inline constexpr std::uint32_t kLineBytes = 64;
+inline constexpr std::uint32_t kLineShift = 6;
+inline constexpr std::uint32_t kWordsPerLine = kLineBytes / sizeof(Word);
+
+/// Line-number of an address.
+constexpr Addr line_of(Addr a) { return a >> kLineShift; }
+/// First byte address of the line containing `a`.
+constexpr Addr line_base(Addr a) { return a & ~Addr{kLineBytes - 1}; }
+/// Byte offset of `a` within its line.
+constexpr std::uint32_t line_offset(Addr a) {
+  return static_cast<std::uint32_t>(a & (kLineBytes - 1));
+}
+
+}  // namespace glocks

@@ -1,0 +1,127 @@
+#include "core/core.hpp"
+
+#include "common/check.hpp"
+
+namespace glocks::core {
+
+Core::Core(CoreId id, std::uint32_t num_glocks, std::uint32_t num_gbarriers)
+    : id_(id), lock_regs_(num_glocks), barrier_regs_(num_gbarriers) {}
+
+void Core::bind(std::uint32_t thread_id, std::uint32_t num_threads,
+                mem::L1Cache& l1,
+                const std::function<Task<void>(ThreadApi&)>& make_body) {
+  GLOCKS_CHECK(ctx_ == nullptr, "core " << id_ << " already has a thread");
+  ctx_ = std::make_unique<ThreadContext>();
+  ctx_->thread_id = thread_id;
+  ctx_->num_threads = num_threads;
+  ctx_->core = id_;
+  ctx_->l1 = &l1;
+  ctx_->lock_regs = &lock_regs_;
+  ctx_->barrier_regs = &barrier_regs_;
+  ctx_->sb_station = &sb_station_;
+  ctx_->qolb_station = &qolb_station_;
+  api_ = std::make_unique<ThreadApi>(*ctx_);
+  body_ = make_body(*api_);
+}
+
+void Core::resume(Cycle now) {
+  if (!started_) {
+    started_ = true;
+    body_.start();
+  } else {
+    GLOCKS_CHECK(ctx_->resume_point, "resuming a thread with no suspension");
+    auto h = ctx_->resume_point;
+    ctx_->resume_point = nullptr;
+    h.resume();
+  }
+  if (body_.done()) {
+    body_.rethrow_if_failed();
+    ctx_->finished = true;
+    ctx_->finish_cycle = now;
+  }
+}
+
+void Core::tick(Cycle now) {
+  if (ctx_ == nullptr || ctx_->finished) return;
+
+  // Attribute this live cycle (paper Figure 8 breakdown). Lock/Barrier
+  // scopes dominate; otherwise blocked-on-memory cycles are Memory and
+  // everything else is Busy.
+  Category charge = ctx_->category;
+  if (charge == Category::kBusy && ctx_->wait == ThreadContext::Wait::kMem) {
+    charge = Category::kMemory;
+  }
+  ++ctx_->cycles[static_cast<std::size_t>(charge)];
+
+  switch (ctx_->wait) {
+    case ThreadContext::Wait::kReady:
+      resume(now);
+      break;
+    case ThreadContext::Wait::kCompute:
+      GLOCKS_CHECK(ctx_->compute_remaining > 0, "compute wait with 0 left");
+      if (--ctx_->compute_remaining == 0) {
+        ctx_->wait = ThreadContext::Wait::kReady;
+        resume(now);
+      }
+      break;
+    case ThreadContext::Wait::kMem:
+      // The L1 completion callback flips wait to kReady; nothing to do.
+      break;
+    case ThreadContext::Wait::kGlineReq:
+      // Spinning on the lock_req register: granted when the local G-line
+      // controller resets it (paper Figure 5's busy-wait loop).
+      if (!ctx_->lock_regs->req[ctx_->gline_id]) {
+        ctx_->wait = ThreadContext::Wait::kReady;
+        resume(now);
+      } else {
+        ++ctx_->gline_spin_cycles;
+      }
+      break;
+    case ThreadContext::Wait::kGlineRel:
+      if (!ctx_->lock_regs->rel[ctx_->gline_id]) {
+        ctx_->wait = ThreadContext::Wait::kReady;
+        resume(now);
+      }
+      break;
+    case ThreadContext::Wait::kGBarrier:
+      if (!ctx_->barrier_regs->wait[ctx_->gline_id]) {
+        ctx_->wait = ThreadContext::Wait::kReady;
+        resume(now);
+      } else {
+        ++ctx_->gline_spin_cycles;
+      }
+      break;
+    case ThreadContext::Wait::kSbWait:
+      if (ctx_->sb_station->granted) {
+        ctx_->sb_station->waiting = false;
+        ctx_->sb_station->granted = false;
+        ctx_->wait = ThreadContext::Wait::kReady;
+        resume(now);
+      } else {
+        ++ctx_->gline_spin_cycles;  // local register spin, same cost class
+      }
+      break;
+    case ThreadContext::Wait::kQolbAcq:
+      if (ctx_->qolb_station->granted) {
+        ctx_->qolb_station->waiting = false;
+        ctx_->qolb_station->granted = false;
+        ctx_->wait = ThreadContext::Wait::kReady;
+        resume(now);
+      } else {
+        ++ctx_->gline_spin_cycles;
+      }
+      break;
+    case ThreadContext::Wait::kQolbRel:
+      if (ctx_->qolb_station->release_done) {
+        ctx_->qolb_station->release_done = false;
+        ctx_->qolb_station->holding = false;
+        ctx_->wait = ThreadContext::Wait::kReady;
+        resume(now);
+      } else {
+        ++ctx_->gline_spin_cycles;
+      }
+      break;
+  }
+}
+
+}  // namespace glocks::core

@@ -1,0 +1,60 @@
+// In-order core model: hosts one simulated thread and advances it.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/task.hpp"
+#include "core/thread.hpp"
+#include "sim/engine.hpp"
+
+namespace glocks::core {
+
+/// One processing core running exactly one simulated thread (the paper's
+/// experiments bind one thread per core). The core charges each live cycle
+/// to the thread's current activity category, drives compute delays, and
+/// resumes the coroutine when its pending operation completes.
+class Core final : public sim::Component {
+ public:
+  Core(CoreId id, std::uint32_t num_glocks, std::uint32_t num_gbarriers = 1);
+
+  CoreId id() const { return id_; }
+
+  /// Binds the thread program. `make_body` is called with the ThreadApi so
+  /// the coroutine can capture a stable reference.
+  ///
+  /// IMPORTANT (CppCoreGuidelines CP.51): `make_body` must be an ordinary
+  /// function that *returns* a coroutine (e.g. calls a member/free
+  /// coroutine function), never itself a capturing coroutine lambda — a
+  /// lambda coroutine's frame references the closure object, which dies
+  /// when this call returns.
+  void bind(std::uint32_t thread_id, std::uint32_t num_threads,
+            mem::L1Cache& l1,
+            const std::function<Task<void>(ThreadApi&)>& make_body);
+
+  bool finished() const { return ctx_ == nullptr || ctx_->finished; }
+  const ThreadContext& context() const { return *ctx_; }
+  ThreadContext& context() { return *ctx_; }
+  LockRegisters& lock_registers() { return lock_regs_; }
+  BarrierRegisters& barrier_registers() { return barrier_regs_; }
+  mem::SbStation& sb_station() { return sb_station_; }
+  mem::QolbStation& qolb_station() { return qolb_station_; }
+
+  void tick(Cycle now) override;
+
+ private:
+  void resume(Cycle now);
+
+  CoreId id_;
+  LockRegisters lock_regs_;
+  BarrierRegisters barrier_regs_;
+  mem::SbStation sb_station_;
+  mem::QolbStation qolb_station_;
+  std::unique_ptr<ThreadContext> ctx_;
+  std::unique_ptr<ThreadApi> api_;
+  Task<void> body_;
+  bool started_ = false;
+};
+
+}  // namespace glocks::core

@@ -1,0 +1,152 @@
+// Minimal lazy coroutine task used to express simulated-thread programs.
+//
+// A simulated thread is a coroutine of type Task<void>; lock algorithms and
+// workload phases are sub-coroutines composed with `co_await`. Suspension
+// only ever happens at operation awaiters (compute / load / store / AMO /
+// G-line register ops, defined in thread.hpp), each of which parks the
+// innermost handle in the ThreadContext for the Core to resume when the
+// operation's simulated latency has elapsed.
+//
+// Tasks are lazy (start suspended), single-owner and move-only. Completion
+// resumes the awaiting parent by symmetric transfer. Exceptions propagate
+// to the awaiting coroutine; the root's exception is rethrown by the Core.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace glocks::core {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiting) noexcept {
+    h_.promise().continuation = awaiting;
+    return h_;
+  }
+  T await_resume() {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  friend struct promise_type;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) h_.destroy();
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_.done(); }
+
+  /// Kicks off a root task (first resume). Only the Core calls this.
+  void start() {
+    GLOCKS_CHECK(h_ && !h_.done(), "starting an invalid or finished task");
+    h_.resume();
+  }
+
+  /// Rethrows the root coroutine's escaped exception, if any.
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception) {
+      std::rethrow_exception(h_.promise().exception);
+    }
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiting) noexcept {
+    h_.promise().continuation = awaiting;
+    return h_;
+  }
+  void await_resume() {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+  }
+
+ private:
+  friend struct promise_type;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) h_.destroy();
+  }
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+}  // namespace glocks::core

@@ -1,0 +1,62 @@
+// G-line primitives: single-bit global wires with one-cycle-per-dimension
+// propagation (Section II / III-A of the paper).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace glocks::gline {
+
+/// One directed channel of a G-line. The physical wire is bidirectional
+/// (Ito et al. multi-drop lines); the protocol never drives both directions
+/// in the same cycle, so modelling each direction separately is exact.
+///
+/// A pulse sent during cycle t is observable at cycle t + latency. The
+/// receiver interprets the pulse as REQ or REL from its own flag state
+/// (paper Section III-D), so the wire itself carries no payload.
+class Wire {
+ public:
+  /// `is_local` marks the co-located internal flag (same-tile manager):
+  /// it has the same one-cycle observation timing as a G-line (paper
+  /// Figure 4 stamps flag writes and signals with the same cycle labels)
+  /// but is free wiring — excluded from the G-line count and charged as a
+  /// flag write, not a wire transmission, by the energy model.
+  explicit Wire(Cycle latency, bool is_local = false)
+      : latency_(latency), is_local_(is_local) {}
+
+  void pulse(Cycle now) {
+    ++pulses_sent_;
+    arrivals_.push_back(now + latency_);
+  }
+
+  /// Consumes one matured pulse, if any.
+  bool poll(Cycle now) {
+    if (arrivals_.empty() || arrivals_.front() > now) return false;
+    arrivals_.pop_front();
+    return true;
+  }
+
+  bool is_gline() const { return !is_local_; }
+  std::uint64_t pulses_sent() const { return pulses_sent_; }
+  bool idle() const { return arrivals_.empty(); }
+
+ private:
+  Cycle latency_;
+  bool is_local_;
+  std::deque<Cycle> arrivals_;
+  std::uint64_t pulses_sent_ = 0;
+};
+
+/// Counters for the energy model and for protocol tests.
+struct GlineStats {
+  std::uint64_t signals = 0;      ///< pulses on real G-lines
+  std::uint64_t local_flags = 0;  ///< co-located flag writes
+  std::uint64_t acquires_granted = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t secondary_passes = 0;  ///< completed row scheduling passes
+};
+
+}  // namespace glocks::gline

@@ -1,0 +1,63 @@
+#include "harness/auto_policy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glocks::harness {
+
+AutoPolicyResult auto_assign_glocks(const WorkloadFactory& make,
+                                    const RunConfig& cfg,
+                                    AutoPolicyOptions opts) {
+  // Profiling configuration: the paper's census methodology.
+  RunConfig profile_cfg = cfg;
+  profile_cfg.policy = LockPolicy{};
+  profile_cfg.policy.highly_contended = locks::LockKind::kTatas;
+  profile_cfg.policy.regular = locks::LockKind::kTatas;
+  profile_cfg.policy.overrides.clear();
+
+  auto workload = make(opts.profile_scale);
+  const RunResult profile = run_workload(*workload, profile_cfg);
+
+  const std::uint32_t cores = cfg.cmp.num_cores;
+  const std::uint32_t threshold =
+      opts.hc_threshold != 0
+          ? opts.hc_threshold
+          : std::max(2u, static_cast<std::uint32_t>(cores * 20 / 32));
+
+  std::uint64_t total_lock_cycles = 0;
+  for (const auto& lc : profile.lock_census) {
+    total_lock_cycles += lc.census.total(1);
+  }
+
+  AutoPolicyResult result;
+  for (const auto& lc : profile.lock_census) {
+    LockScore s;
+    s.name = lc.name;
+    s.contended_cycles = lc.census.total(threshold + 1);
+    s.share = total_lock_cycles == 0
+                  ? 0.0
+                  : static_cast<double>(lc.census.total(1)) /
+                        static_cast<double>(total_lock_cycles);
+    result.scores.push_back(std::move(s));
+  }
+  std::stable_sort(result.scores.begin(), result.scores.end(),
+                   [](const LockScore& a, const LockScore& b) {
+                     return a.contended_cycles > b.contended_cycles;
+                   });
+
+  // Hand the hardware to the top scorers that clear the cycle-share bar.
+  result.policy.highly_contended = locks::LockKind::kMcs;
+  result.policy.regular = locks::LockKind::kTatas;
+  std::uint32_t remaining = cfg.cmp.gline.num_glocks;
+  for (auto& s : result.scores) {
+    if (remaining == 0) break;
+    if (s.contended_cycles == 0 || s.share < opts.min_share) continue;
+    s.chosen = true;
+    result.policy.overrides[s.name] = locks::LockKind::kGlock;
+    --remaining;
+  }
+  return result;
+}
+
+}  // namespace glocks::harness

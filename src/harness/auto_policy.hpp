@@ -1,0 +1,60 @@
+// Automatic GLock assignment.
+//
+// Paper Section III-C leaves identifying highly-contended locks to the
+// programmer, pointing at profiling work (Tallent et al.) for automation.
+// This module closes that loop: it runs the workload once under the
+// paper's own census methodology (all locks TATAS, cycle-level concurrent-
+// requester sampling, optionally on a scaled-down input), scores every
+// lock by the time it spends highly contended, and emits a LockPolicy
+// that binds the chip's GLocks to the top-scoring locks and MCS to other
+// contended ones — reproducing by measurement the assignment the paper
+// made by hand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace glocks::harness {
+
+struct LockScore {
+  std::string name;
+  /// Cycles this lock spent with > hc_threshold concurrent requesters.
+  std::uint64_t contended_cycles = 0;
+  /// Share of all lock-activity cycles (paper eq. 3 numerator).
+  double share = 0.0;
+  bool chosen = false;  ///< received one of the hardware GLocks
+};
+
+struct AutoPolicyResult {
+  LockPolicy policy;  ///< ready to drop into a RunConfig
+  std::vector<LockScore> scores;  ///< descending by contended_cycles
+};
+
+struct AutoPolicyOptions {
+  /// grAC above which a cycle counts as "highly contended" (the paper's
+  /// in-text analyses use grAC > 20 on 32 cores; scaled to cores/1.6).
+  std::uint32_t hc_threshold = 0;  ///< 0 = derive from core count
+  /// A lock must hold at least this share of total lock-activity cycles
+  /// to receive hardware (filters the "high contention but negligible
+  /// cycles" locks the paper's eq. 3 decomposition excludes).
+  double min_share = 0.02;
+  /// Input scale for the profiling run.
+  double profile_scale = 0.25;
+};
+
+/// Builds a fresh (scaled) instance of the workload to profile; matches
+/// the registry's factory shape, avoiding a dependency cycle.
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(double scale)>;
+
+/// Profiles the workload on the machine in `cfg` and returns the hardware
+/// assignment. The profiling run uses TATAS everywhere, like the paper's
+/// post-mortem analysis.
+AutoPolicyResult auto_assign_glocks(const WorkloadFactory& make,
+                                    const RunConfig& cfg,
+                                    AutoPolicyOptions opts = {});
+
+}  // namespace glocks::harness

@@ -1,0 +1,61 @@
+#include "harness/cmp_system.hpp"
+
+#include "common/check.hpp"
+
+namespace glocks::harness {
+
+CmpSystem::CmpSystem(const CmpConfig& cfg)
+    : cfg_(cfg),
+      mesh_((cfg.validate(), cfg.mesh_tiles()), cfg.mesh_width(), cfg.noc),
+      hierarchy_(cfg, mesh_, engine_),  // registers dirs, L1s, then mesh
+      census_(cfg.num_cores) {
+  // Tick order within a cycle (after the hierarchy's components):
+  // cores (may set lock registers), then the G-line network (local
+  // controllers observe registers written the same cycle, as co-located
+  // hardware flags would), then the census sampler.
+  cores_.reserve(cfg.num_cores);
+  std::vector<core::LockRegisters*> regs;
+  std::vector<core::BarrierRegisters*> barrier_regs;
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    cores_.push_back(std::make_unique<core::Core>(c, cfg.gline.num_glocks,
+                                                  cfg.gline.num_gbarriers));
+    engine_.add(*cores_.back());
+    regs.push_back(&cores_.back()->lock_registers());
+    barrier_regs.push_back(&cores_.back()->barrier_registers());
+  }
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    hierarchy_.set_sb_station(c, &cores_[c]->sb_station());
+    hierarchy_.set_qolb_station(c, &cores_[c]->qolb_station());
+  }
+  glines_ = std::make_unique<gline::GlineSystem>(cfg, std::move(regs),
+                                                 std::move(barrier_regs));
+  engine_.add(*glines_);
+  engine_.add(census_);
+}
+
+void CmpSystem::attach_tracer(trace::Tracer& tracer) {
+  for (auto& c : cores_) {
+    c->context().tracer = &tracer;
+    c->context().engine = &engine_;
+  }
+}
+
+bool CmpSystem::all_threads_finished() const {
+  for (const auto& c : cores_) {
+    if (!c->finished()) return false;
+  }
+  return true;
+}
+
+Cycle CmpSystem::run() {
+  const Cycle end = engine_.run_until(
+      [this] { return all_threads_finished(); }, cfg_.max_cycles);
+  // Drain writebacks / in-flight protocol messages so post-run memory
+  // verification sees settled state.
+  engine_.run_until(
+      [this] { return hierarchy_.quiescent() && glines_->idle(); },
+      engine_.now() + 100000);
+  return end;
+}
+
+}  // namespace glocks::harness

@@ -1,0 +1,58 @@
+// The assembled simulated machine: engine + mesh + memory hierarchy +
+// cores + G-line lock network + contention census, wired in the tick
+// order the timing model expects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/core.hpp"
+#include "gline/gline_system.hpp"
+#include "locks/census.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/sim_allocator.hpp"
+#include "noc/mesh.hpp"
+#include "sim/engine.hpp"
+#include "trace/tracer.hpp"
+
+namespace glocks::harness {
+
+class CmpSystem {
+ public:
+  explicit CmpSystem(const CmpConfig& cfg);
+
+  const CmpConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return engine_; }
+  noc::Mesh& mesh() { return mesh_; }
+  mem::Hierarchy& hierarchy() { return hierarchy_; }
+  gline::GlineSystem& glines() { return *glines_; }
+  locks::ContentionCensus& census() { return census_; }
+  mem::SimAllocator& heap() { return heap_; }
+  core::Core& core(CoreId c) { return *cores_[c]; }
+  std::uint32_t num_cores() const { return cfg_.num_cores; }
+
+  /// Attaches an event tracer to every bound thread. Call after the
+  /// threads are bound and before run().
+  void attach_tracer(trace::Tracer& tracer);
+
+  /// True once every bound thread's coroutine has returned.
+  bool all_threads_finished() const;
+
+  /// Runs the machine until all threads finish, then drains in-flight
+  /// coherence traffic. Returns the cycle the last thread finished at
+  /// (the paper's execution-time metric excludes the drain tail).
+  Cycle run();
+
+ private:
+  CmpConfig cfg_;
+  sim::Engine engine_;
+  noc::Mesh mesh_;
+  mem::Hierarchy hierarchy_;
+  std::vector<std::unique_ptr<core::Core>> cores_;
+  std::unique_ptr<gline::GlineSystem> glines_;
+  locks::ContentionCensus census_;
+  mem::SimAllocator heap_;
+};
+
+}  // namespace glocks::harness

@@ -1,0 +1,64 @@
+#include "harness/multiprog.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glocks::harness {
+
+MultiprogResult run_multiprogrammed(const CmpConfig& cfg,
+                                    std::vector<ProgramSpec> programs,
+                                    std::uint64_t seed) {
+  CmpSystem sys(cfg);
+
+  // Validate the partitioning.
+  std::vector<bool> used(cfg.num_cores, false);
+  for (const auto& p : programs) {
+    GLOCKS_CHECK(!p.cores.empty(), "empty program partition");
+    for (const CoreId c : p.cores) {
+      GLOCKS_CHECK(c < cfg.num_cores, "partition core out of range");
+      GLOCKS_CHECK(!used[c], "core " << c << " assigned twice");
+      used[c] = true;
+    }
+  }
+
+  locks::GlockAllocator shared_glocks(cfg.gline.num_glocks);
+  std::vector<std::unique_ptr<WorkloadContext>> contexts;
+  contexts.reserve(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    auto& prog = programs[i];
+    contexts.push_back(std::make_unique<WorkloadContext>(
+        sys, prog.policy, seed + i,
+        static_cast<std::uint32_t>(prog.cores.size()), &shared_glocks));
+    prog.workload->setup(*contexts.back());
+    for (std::uint32_t local = 0; local < prog.cores.size(); ++local) {
+      Workload* wl = prog.workload.get();
+      WorkloadContext* ctx = contexts.back().get();
+      sys.core(prog.cores[local])
+          .bind(local, static_cast<std::uint32_t>(prog.cores.size()),
+                sys.hierarchy().l1(prog.cores[local]),
+                [wl, ctx](core::ThreadApi& api) {
+                  return wl->thread_body(api, *ctx);
+                });
+    }
+  }
+  // Idle coroutines on unassigned cores are not needed: unbound cores
+  // simply never tick a thread.
+  const Cycle end = sys.run();
+
+  MultiprogResult r;
+  r.total_cycles = end;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    Cycle finish = 0;
+    for (const CoreId c : programs[i].cores) {
+      finish = std::max(finish, sys.core(c).context().finish_cycle);
+    }
+    r.program_cycles.push_back(finish);
+    programs[i].workload->verify(*contexts[i]);
+  }
+  r.traffic = sys.mesh().stats();
+  r.gline = sys.glines().total_stats();
+  return r;
+}
+
+}  // namespace glocks::harness

@@ -1,0 +1,38 @@
+// Multiprogrammed execution: several independent workloads co-scheduled
+// on disjoint core partitions of one chip (paper Section V's second
+// future-work scenario). Each program sees a virtual machine of its
+// partition (its thread ids are partition-local), while the chip-wide
+// resources — mesh, L2 slices, memory, the hardware GLock budget — are
+// genuinely shared.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+
+namespace glocks::harness {
+
+struct ProgramSpec {
+  std::unique_ptr<Workload> workload;
+  std::vector<CoreId> cores;  ///< the partition; must be disjoint
+  LockPolicy policy;
+};
+
+struct MultiprogResult {
+  Cycle total_cycles = 0;               ///< last program's finish
+  std::vector<Cycle> program_cycles;    ///< per-program finish times
+  noc::TrafficStats traffic;
+  gline::GlineStats gline;
+};
+
+/// Runs all programs to completion on one machine. GLock hardware is
+/// arbitrated first-come-first-served across programs via one shared
+/// allocator; a program whose policy requests more GLocks than remain
+/// throws (choose policies accordingly, or use VirtualGlockPool).
+MultiprogResult run_multiprogrammed(const CmpConfig& cfg,
+                                    std::vector<ProgramSpec> programs,
+                                    std::uint64_t seed = 1);
+
+}  // namespace glocks::harness

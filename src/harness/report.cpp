@@ -1,0 +1,123 @@
+#include "harness/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace glocks::harness {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string summary_text(const RunResult& r) {
+  std::ostringstream os;
+  os << "workload " << r.workload << " (highly-contended locks: "
+     << r.hc_lock_kind << ")\n"
+     << "  execution time     " << r.cycles << " cycles\n"
+     << "  time breakdown     busy " << std::fixed << std::setprecision(3)
+     << r.busy_fraction() << " | memory " << r.memory_fraction()
+     << " | lock " << r.lock_fraction() << " | barrier "
+     << r.barrier_fraction() << "\n"
+     << "  micro-ops          " << r.uops << "\n"
+     << "  network traffic    " << r.traffic.total_bytes() << " B ("
+     << r.traffic.bytes(noc::MsgClass::kCoherence) << " coherence, "
+     << r.traffic.bytes(noc::MsgClass::kRequest) << " request, "
+     << r.traffic.bytes(noc::MsgClass::kReply) << " reply)\n"
+     << "  L1                 " << r.l1.accesses() << " accesses, "
+     << r.l1.misses << " misses, " << r.l1.invalidations_received
+     << " invalidations\n"
+     << "  directory          " << r.dir.l2_accesses() << " L2 accesses, "
+     << r.dir.forwards_sent << " forwards, " << r.dir.memory_fetches
+     << " memory fetches\n"
+     << "  G-line network     " << r.gline.signals << " signals, "
+     << r.gline.acquires_granted << " grants\n"
+     << "  energy             " << std::setprecision(2)
+     << r.energy.total() / 1e6 << " uJ (network "
+     << r.energy.network / 1e6 << ", cores " << r.energy.cores / 1e6
+     << ", leakage " << r.energy.leakage / 1e6 << ")\n"
+     << "  ED2P               " << std::scientific << std::setprecision(4)
+     << r.ed2p << "\n"
+     << "  locks:\n";
+  for (const auto& lc : r.lock_census) {
+    const double hc = lc.census.fraction(lc.census.max_bin() * 2 / 3 + 1,
+                                         lc.census.max_bin());
+    os << "    " << std::left << std::setw(12) << lc.name << std::right
+       << std::fixed << std::setprecision(2) << lc.acquires
+       << " acquires, high-contention share " << hc << "\n";
+  }
+  return os.str();
+}
+
+void write_csv_header(std::ostream& os) {
+  os << "workload,hc_lock,cycles,busy,memory,lock,barrier,uops,"
+        "traffic_bytes,coherence_bytes,request_bytes,reply_bytes,"
+        "l1_accesses,l1_misses,invalidations,forwards,memory_fetches,"
+        "gline_signals,gline_grants,energy_pj,ed2p\n";
+}
+
+void write_csv_row(const RunResult& r, std::ostream& os) {
+  os << r.workload << ',' << r.hc_lock_kind << ',' << r.cycles << ','
+     << r.busy_fraction() << ',' << r.memory_fraction() << ','
+     << r.lock_fraction() << ',' << r.barrier_fraction() << ',' << r.uops
+     << ',' << r.traffic.total_bytes() << ','
+     << r.traffic.bytes(noc::MsgClass::kCoherence) << ','
+     << r.traffic.bytes(noc::MsgClass::kRequest) << ','
+     << r.traffic.bytes(noc::MsgClass::kReply) << ',' << r.l1.accesses()
+     << ',' << r.l1.misses << ',' << r.l1.invalidations_received << ','
+     << r.dir.forwards_sent << ',' << r.dir.memory_fetches << ','
+     << r.gline.signals << ',' << r.gline.acquires_granted << ','
+     << r.energy.total() << ',' << r.ed2p << "\n";
+}
+
+void write_json(const RunResult& r, std::ostream& os) {
+  os << "{\n  \"workload\": ";
+  write_json_string(os, r.workload);
+  os << ",\n  \"hc_lock\": ";
+  write_json_string(os, r.hc_lock_kind);
+  os << ",\n  \"cycles\": " << r.cycles                             //
+     << ",\n  \"breakdown\": {\"busy\": " << r.busy_fraction()      //
+     << ", \"memory\": " << r.memory_fraction()                     //
+     << ", \"lock\": " << r.lock_fraction()                         //
+     << ", \"barrier\": " << r.barrier_fraction() << "}"            //
+     << ",\n  \"uops\": " << r.uops                                 //
+     << ",\n  \"traffic\": {\"total\": " << r.traffic.total_bytes() //
+     << ", \"coherence\": " << r.traffic.bytes(noc::MsgClass::kCoherence)
+     << ", \"request\": " << r.traffic.bytes(noc::MsgClass::kRequest)
+     << ", \"reply\": " << r.traffic.bytes(noc::MsgClass::kReply) << "}"
+     << ",\n  \"l1\": {\"accesses\": " << r.l1.accesses()
+     << ", \"misses\": " << r.l1.misses
+     << ", \"invalidations\": " << r.l1.invalidations_received << "}"
+     << ",\n  \"directory\": {\"l2_accesses\": " << r.dir.l2_accesses()
+     << ", \"forwards\": " << r.dir.forwards_sent
+     << ", \"memory_fetches\": " << r.dir.memory_fetches << "}"
+     << ",\n  \"gline\": {\"signals\": " << r.gline.signals
+     << ", \"grants\": " << r.gline.acquires_granted << "}"
+     << ",\n  \"energy_pj\": " << r.energy.total()  //
+     << ",\n  \"ed2p\": " << r.ed2p                 //
+     << ",\n  \"locks\": [";
+  bool first = true;
+  for (const auto& lc : r.lock_census) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": ";
+    write_json_string(os, lc.name);
+    os << ", \"acquires\": " << lc.acquires << ", \"census\": [";
+    for (std::uint32_t b = 1; b <= lc.census.max_bin(); ++b) {
+      if (b > 1) os << ",";
+      os << lc.census.count(b);
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace glocks::harness

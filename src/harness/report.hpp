@@ -1,0 +1,21 @@
+// RunResult exporters: human-readable summary, CSV rows, JSON documents.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "harness/runner.hpp"
+
+namespace glocks::harness {
+
+/// Multi-section human-readable report of one run.
+std::string summary_text(const RunResult& r);
+
+/// Flat CSV: one header, one row per run (for spreadsheets / plotting).
+void write_csv_header(std::ostream& os);
+void write_csv_row(const RunResult& r, std::ostream& os);
+
+/// Full JSON document including the per-lock census histograms.
+void write_json(const RunResult& r, std::ostream& os);
+
+}  // namespace glocks::harness

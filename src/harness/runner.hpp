@@ -1,0 +1,74 @@
+// The experiment runner: builds a machine, binds a workload, runs it to
+// completion and collects every metric the paper's evaluation reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "harness/workload.hpp"
+#include "power/energy_model.hpp"
+
+namespace glocks::harness {
+
+struct RunConfig {
+  CmpConfig cmp;
+  LockPolicy policy;
+  std::uint64_t seed = 1;
+  power::EnergyParams energy;
+  /// When non-null, synchronization events are recorded here.
+  trace::Tracer* tracer = nullptr;
+};
+
+/// Everything one simulation produces.
+struct RunResult {
+  std::string workload;
+  std::string hc_lock_kind;
+  Cycle cycles = 0;  ///< parallel-phase execution time
+
+  /// Thread-cycles per Figure 8 category (Busy/Memory/Lock/Barrier),
+  /// summed over threads.
+  std::array<std::uint64_t, core::kNumCategories> category_cycles{};
+  std::uint64_t uops = 0;
+  std::uint64_t gline_spin_cycles = 0;
+
+  noc::TrafficStats traffic;
+  mem::L1Stats l1;
+  mem::DirStats dir;
+  gline::GlineStats gline;
+
+  power::EnergyReport energy;
+  double ed2p = 0.0;
+
+  /// Per-lock contention census (paper Figure 7): lock name + histogram
+  /// over grAC in [1 .. num_cores].
+  struct LockCensus {
+    std::string name;
+    std::uint64_t acquires = 0;
+    double jain_fairness = 1.0;  ///< Jain's index over per-thread acquires
+    std::uint64_t min_thread_acquires = 0;
+    std::uint64_t max_thread_acquires = 0;
+    Histogram census{1};
+  };
+  std::vector<LockCensus> lock_census;
+
+  double busy_fraction() const { return fraction(core::Category::kBusy); }
+  double memory_fraction() const {
+    return fraction(core::Category::kMemory);
+  }
+  double lock_fraction() const { return fraction(core::Category::kLock); }
+  double barrier_fraction() const {
+    return fraction(core::Category::kBarrier);
+  }
+  double fraction(core::Category c) const;
+  std::uint64_t total_thread_cycles() const;
+};
+
+/// Runs `workload` once under `cfg`. Each call builds a fresh machine.
+RunResult run_workload(Workload& workload, const RunConfig& cfg);
+
+}  // namespace glocks::harness

@@ -1,0 +1,73 @@
+#include "harness/workload.hpp"
+
+#include "common/check.hpp"
+
+namespace glocks::harness {
+
+WorkloadContext::WorkloadContext(CmpSystem& sys, LockPolicy policy,
+                                 std::uint64_t seed,
+                                 std::uint32_t num_threads_override,
+                                 locks::GlockAllocator* shared_glocks)
+    : sys_(sys),
+      policy_(policy),
+      rng_(seed),
+      num_threads_override_(num_threads_override),
+      glock_alloc_(sys.config().gline.num_glocks),
+      shared_glocks_(shared_glocks) {}
+
+locks::Lock& WorkloadContext::make_lock(const std::string& name,
+                                        bool highly_contended) {
+  locks::LockKind kind =
+      highly_contended ? policy_.highly_contended : policy_.regular;
+  if (const auto it = policy_.overrides.find(name);
+      it != policy_.overrides.end()) {
+    kind = it->second;
+  }
+  return make_lock_of(kind, name);
+}
+
+locks::Lock& WorkloadContext::make_lock_of(locks::LockKind kind,
+                                           const std::string& name) {
+  locks::GlockAllocator* alloc =
+      shared_glocks_ != nullptr ? shared_glocks_ : &glock_alloc_;
+  locks_.push_back(
+      locks::make_lock(kind, name, heap(), num_threads(), alloc));
+  locks_.back()->preload(memory());
+  sys_.census().watch(*locks_.back());
+  return *locks_.back();
+}
+
+sync::Barrier& WorkloadContext::make_tree_barrier() {
+  barriers_.push_back(
+      std::make_unique<sync::TreeBarrier>(heap(), num_threads()));
+  return *barriers_.back();
+}
+
+sync::Barrier& WorkloadContext::make_central_barrier() {
+  barriers_.push_back(
+      std::make_unique<sync::CentralBarrier>(heap(), num_threads()));
+  return *barriers_.back();
+}
+
+sync::Barrier& WorkloadContext::make_gline_barrier() {
+  GLOCKS_CHECK(next_gbarrier_ < sys_.config().gline.num_gbarriers,
+               "no free G-line barrier unit (provisioned: "
+                   << sys_.config().gline.num_gbarriers << ")");
+  barriers_.push_back(
+      std::make_unique<sync::GlineBarrier>(next_gbarrier_++));
+  return *barriers_.back();
+}
+
+sync::Barrier& WorkloadContext::make_barrier(sync::BarrierKind kind) {
+  switch (kind) {
+    case sync::BarrierKind::kTree:
+      return make_tree_barrier();
+    case sync::BarrierKind::kCentral:
+      return make_central_barrier();
+    case sync::BarrierKind::kGline:
+      return make_gline_barrier();
+  }
+  GLOCKS_UNREACHABLE("unknown barrier kind");
+}
+
+}  // namespace glocks::harness

@@ -1,0 +1,115 @@
+// Workload abstraction: what a benchmark must provide to run on the CMP.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/task.hpp"
+#include "core/thread.hpp"
+#include "harness/cmp_system.hpp"
+#include "locks/factory.hpp"
+#include "sync/barrier.hpp"
+
+namespace glocks::harness {
+
+/// Which software algorithm implements each contention class in a run.
+/// The paper's baseline: highly-contended -> MCS, others -> TATAS; the
+/// GLocks configuration: highly-contended -> GLock, others -> TATAS.
+struct LockPolicy {
+  locks::LockKind highly_contended = locks::LockKind::kMcs;
+  locks::LockKind regular = locks::LockKind::kTatas;
+  /// Per-lock-name exceptions, applied before the class defaults. Used by
+  /// the Figure 1 reproduction (TATAS-1/TATAS-2: only some of the
+  /// highly-contended locks become ideal) and by ablations.
+  std::map<std::string, locks::LockKind> overrides;
+};
+
+/// Everything a workload's setup/threads may touch. Owns the locks and
+/// barriers created through it.
+class WorkloadContext {
+ public:
+  /// `num_threads_override` != 0 presents the workload with a smaller
+  /// virtual machine (multiprogrammed partitions); `shared_glocks`, when
+  /// given, arbitrates the chip-wide GLock budget across co-scheduled
+  /// contexts instead of this context's private allocator.
+  WorkloadContext(CmpSystem& sys, LockPolicy policy, std::uint64_t seed,
+                  std::uint32_t num_threads_override = 0,
+                  locks::GlockAllocator* shared_glocks = nullptr);
+
+  CmpSystem& system() { return sys_; }
+  mem::SimAllocator& heap() { return sys_.heap(); }
+  mem::BackingStore& memory() { return sys_.hierarchy().memory(); }
+  /// Coherent post-run read: sees values still dirty in L1s/L2 slices.
+  Word peek(Addr addr) { return sys_.hierarchy().coherent_peek(addr); }
+  /// Marks [start, start+bytes) as initialized-before-the-parallel-phase:
+  /// the lines are installed clean in their home L2 slices.
+  void prewarm(Addr start, std::uint64_t bytes) {
+    for (Addr line = line_of(start); line <= line_of(start + bytes - 1);
+         ++line) {
+      sys_.hierarchy().prewarm_line(line);
+    }
+  }
+  std::uint32_t num_threads() const {
+    return num_threads_override_ != 0 ? num_threads_override_
+                                      : sys_.num_cores();
+  }
+  Rng& rng() { return rng_; }
+
+  /// Creates a lock; `highly_contended` picks the policy's algorithm for
+  /// it and registers it with the contention census.
+  locks::Lock& make_lock(const std::string& name, bool highly_contended);
+
+  /// Creates a lock of an explicit kind (used by Figure 1's per-lock
+  /// TATAS/ideal splits and the ablation benches).
+  locks::Lock& make_lock_of(locks::LockKind kind, const std::string& name);
+
+  sync::Barrier& make_tree_barrier();
+  sync::Barrier& make_central_barrier();
+  /// Hardware G-line barrier; throws when all units are taken.
+  sync::Barrier& make_gline_barrier();
+  sync::Barrier& make_barrier(sync::BarrierKind kind);
+
+  const std::vector<std::unique_ptr<locks::Lock>>& all_locks() const {
+    return locks_;
+  }
+  const LockPolicy& policy() const { return policy_; }
+
+ private:
+  CmpSystem& sys_;
+  LockPolicy policy_;
+  Rng rng_;
+  std::uint32_t num_threads_override_ = 0;
+  locks::GlockAllocator glock_alloc_;
+  locks::GlockAllocator* shared_glocks_ = nullptr;
+  std::uint32_t next_gbarrier_ = 0;
+  std::vector<std::unique_ptr<locks::Lock>> locks_;
+  std::vector<std::unique_ptr<sync::Barrier>> barriers_;
+};
+
+/// A benchmark: named, sets up its shared data and locks, provides one
+/// coroutine per thread, and can verify its results afterwards.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  /// Number of locks this workload creates and how many are
+  /// highly-contended (paper Table III columns).
+  virtual std::uint32_t num_locks() const = 0;
+  virtual std::uint32_t num_hc_locks() const = 0;
+
+  /// Allocates shared data, creates locks/barriers, preloads memory.
+  virtual void setup(WorkloadContext& ctx) = 0;
+  /// The program thread `tid` runs. Called once per thread after setup.
+  virtual core::Task<void> thread_body(core::ThreadApi& t,
+                                       WorkloadContext& ctx) = 0;
+  /// Post-run invariant checks against simulated memory; throws on
+  /// violation. Runs after the machine has drained.
+  virtual void verify(WorkloadContext& /*ctx*/) {}
+};
+
+}  // namespace glocks::harness

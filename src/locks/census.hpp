@@ -1,0 +1,54 @@
+// Cycle-by-cycle lock contention census (paper Section IV-B).
+//
+// Every cycle, each registered lock with at least one outstanding acquire
+// contributes one sample at bin grAC = number of concurrent requesters.
+// LCR per grAC (paper eq. 1) and the per-lock decomposition (eq. 3) are
+// derived from these histograms by the harness.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "locks/lock.hpp"
+#include "sim/engine.hpp"
+
+namespace glocks::locks {
+
+class ContentionCensus final : public sim::Component {
+ public:
+  explicit ContentionCensus(std::uint32_t max_requesters)
+      : max_requesters_(max_requesters) {}
+
+  /// Registers a lock to be sampled. Non-owning; the lock must outlive
+  /// the census.
+  void watch(const Lock& lock) {
+    lock_stats_.push_back(&lock.stats());
+    histograms_.emplace_back(max_requesters_);
+  }
+
+  void tick(Cycle) override {
+    for (std::size_t i = 0; i < lock_stats_.size(); ++i) {
+      const std::uint32_t n = lock_stats_[i]->current_requesters;
+      if (n > 0) histograms_[i].add(std::min(n, max_requesters_));
+    }
+  }
+
+  std::size_t num_locks() const { return lock_stats_.size(); }
+  const Histogram& histogram(std::size_t i) const { return histograms_[i]; }
+  const LockStats& lock_stats(std::size_t i) const { return *lock_stats_[i]; }
+
+  /// Total census cycles across all locks (the denominator of eq. 3).
+  std::uint64_t total_cycles() const {
+    std::uint64_t sum = 0;
+    for (const auto& h : histograms_) sum += h.total(1);
+    return sum;
+  }
+
+ private:
+  std::uint32_t max_requesters_;
+  std::vector<const LockStats*> lock_stats_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace glocks::locks

@@ -1,0 +1,34 @@
+// CLH queue lock (Craig; Landin & Hagersten): the other classic
+// local-spin queue lock. Unlike MCS, waiters spin on their
+// *predecessor's* node, and nodes migrate backwards on release, so no
+// successor discovery is needed — release is a single store.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "locks/lock.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::locks {
+
+class ClhLock final : public Lock {
+ public:
+  ClhLock(mem::SimAllocator& heap, std::uint32_t num_threads);
+  std::string_view kind_name() const override { return "clh"; }
+  void preload(mem::BackingStore& memory) override;
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  // Node layout: word 0 = locked flag. One line per node; num_threads + 1
+  // nodes circulate (the extra one seeds the tail as "released dummy").
+  Addr tail_;                 ///< own line; holds the latest node address
+  Addr dummy_ = 0;            ///< permanently-released seed node
+  std::vector<Addr> my_node_; ///< node each thread will enqueue next
+  std::vector<Addr> my_pred_; ///< predecessor node captured at acquire
+};
+
+}  // namespace glocks::locks

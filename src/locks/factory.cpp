@@ -1,0 +1,106 @@
+#include "locks/factory.hpp"
+
+#include "common/check.hpp"
+#include "locks/clh_lock.hpp"
+#include "locks/queue_locks.hpp"
+#include "locks/reactive_lock.hpp"
+#include "locks/qolb_lock.hpp"
+#include "locks/sb_lock.hpp"
+#include "locks/special_locks.hpp"
+#include "locks/spin_locks.hpp"
+
+namespace glocks::locks {
+
+std::string_view to_string(LockKind k) {
+  switch (k) {
+    case LockKind::kSimple: return "simple";
+    case LockKind::kTatas: return "tatas";
+    case LockKind::kTatasBackoff: return "tatas-backoff";
+    case LockKind::kTicket: return "ticket";
+    case LockKind::kArray: return "array";
+    case LockKind::kMcs: return "mcs";
+    case LockKind::kClh: return "clh";
+    case LockKind::kReactive: return "reactive";
+    case LockKind::kSb: return "sb";
+    case LockKind::kQolb: return "qolb";
+    case LockKind::kIdeal: return "ideal";
+    case LockKind::kGlock: return "glock";
+  }
+  return "?";
+}
+
+const std::vector<LockKind>& all_lock_kinds() {
+  static const std::vector<LockKind> kinds = {
+      LockKind::kSimple,   LockKind::kTatas, LockKind::kTatasBackoff,
+      LockKind::kTicket,   LockKind::kArray, LockKind::kMcs,
+      LockKind::kClh,      LockKind::kReactive,
+      LockKind::kSb,       LockKind::kQolb,
+      LockKind::kIdeal,    LockKind::kGlock};
+  return kinds;
+}
+
+std::optional<LockKind> parse_lock_kind(std::string_view name) {
+  for (LockKind k : all_lock_kinds()) {
+    if (to_string(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+GlockId GlockAllocator::allocate() {
+  GLOCKS_CHECK(next_ < capacity_,
+               "workload needs more hardware GLocks than the "
+                   << capacity_ << " provisioned (Section IV-C assumes the "
+                   << "number of highly-contended locks is small)");
+  return next_++;
+}
+
+std::unique_ptr<Lock> make_lock(LockKind kind, std::string_view name,
+                                mem::SimAllocator& heap,
+                                std::uint32_t num_threads,
+                                GlockAllocator* glocks) {
+  std::unique_ptr<Lock> lock;
+  switch (kind) {
+    case LockKind::kSimple:
+      lock = std::make_unique<SimpleLock>(heap);
+      break;
+    case LockKind::kTatas:
+      lock = std::make_unique<TatasLock>(heap);
+      break;
+    case LockKind::kTatasBackoff:
+      lock = std::make_unique<TatasLock>(heap, /*backoff_cap=*/1024);
+      break;
+    case LockKind::kTicket:
+      lock = std::make_unique<TicketLock>(heap, num_threads);
+      break;
+    case LockKind::kArray:
+      lock = std::make_unique<ArrayLock>(heap, num_threads);
+      break;
+    case LockKind::kMcs:
+      lock = std::make_unique<McsLock>(heap, num_threads);
+      break;
+    case LockKind::kClh:
+      lock = std::make_unique<ClhLock>(heap, num_threads);
+      break;
+    case LockKind::kReactive:
+      lock = std::make_unique<ReactiveLock>(heap, num_threads);
+      break;
+    case LockKind::kSb:
+      lock = std::make_unique<SbLock>(heap, num_threads);
+      break;
+    case LockKind::kQolb:
+      lock = std::make_unique<QolbLock>(heap, num_threads);
+      break;
+    case LockKind::kIdeal:
+      lock = std::make_unique<IdealLock>();
+      break;
+    case LockKind::kGlock:
+      GLOCKS_CHECK(glocks != nullptr,
+                   "GLock requested without a hardware allocator");
+      lock = std::make_unique<GLock>(glocks->allocate());
+      break;
+  }
+  lock->stats().name = std::string(name);
+  return lock;
+}
+
+}  // namespace glocks::locks

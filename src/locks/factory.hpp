@@ -1,0 +1,56 @@
+// Lock factory: builds any implementation by kind, allocating its
+// simulated-memory footprint and (for GLocks) a hardware lock id.
+#pragma once
+
+#include <memory>
+#include <vector>
+#include <optional>
+#include <string_view>
+
+#include "locks/lock.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::locks {
+
+enum class LockKind : std::uint8_t {
+  kSimple,
+  kTatas,
+  kTatasBackoff,
+  kTicket,
+  kArray,
+  kMcs,
+  kClh,
+  kReactive,
+  kSb,      ///< Synchronization-operation Buffer (hardware, main network)
+  kQolb,    ///< QOLB: hardware queue, direct cache-to-cache handoff
+  kIdeal,
+  kGlock,
+};
+
+/// All kinds, in the canonical ladder order (simplest to most HW).
+const std::vector<LockKind>& all_lock_kinds();
+
+std::string_view to_string(LockKind k);
+std::optional<LockKind> parse_lock_kind(std::string_view name);
+
+/// Hands out hardware GLock ids, enforcing the provisioned budget
+/// (Section IV-C: two per chip in the evaluation).
+class GlockAllocator {
+ public:
+  explicit GlockAllocator(std::uint32_t capacity) : capacity_(capacity) {}
+  GlockId allocate();
+  std::uint32_t remaining() const { return capacity_ - next_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t next_ = 0;
+};
+
+/// Builds a lock of the requested kind. `glocks` is required only for
+/// LockKind::kGlock. The returned lock's stats().name is set to `name`.
+std::unique_ptr<Lock> make_lock(LockKind kind, std::string_view name,
+                                mem::SimAllocator& heap,
+                                std::uint32_t num_threads,
+                                GlockAllocator* glocks = nullptr);
+
+}  // namespace glocks::locks

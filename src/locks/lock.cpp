@@ -1,0 +1,52 @@
+#include "locks/lock.hpp"
+
+#include <algorithm>
+
+namespace glocks::locks {
+
+double LockStats::jain_index(std::uint32_t num_threads) const {
+  const std::size_t n =
+      std::max<std::size_t>(num_threads, acquires_by_thread.size());
+  if (n == 0) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        i < acquires_by_thread.size()
+            ? static_cast<double>(acquires_by_thread[i])
+            : 0.0;
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // nobody acquired: vacuously fair
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+core::Task<void> Lock::acquire(core::ThreadApi& t) {
+  core::CategoryScope scope(t, core::Category::kLock);
+  const Cycle begin = t.now();
+  ++stats_.current_requesters;
+  co_await do_acquire(t);
+  --stats_.current_requesters;
+  ++stats_.acquires;
+  if (stats_.acquires_by_thread.size() <= t.thread_id()) {
+    stats_.acquires_by_thread.resize(t.thread_id() + 1, 0);
+  }
+  ++stats_.acquires_by_thread[t.thread_id()];
+  if (trace::Tracer* tr = t.tracer()) {
+    tr->complete(t.thread_id(), begin, t.now(),
+                 "acquire " + stats_.name);
+  }
+}
+
+core::Task<void> Lock::release(core::ThreadApi& t) {
+  core::CategoryScope scope(t, core::Category::kLock);
+  const Cycle begin = t.now();
+  co_await do_release(t);
+  ++stats_.releases;
+  if (trace::Tracer* tr = t.tracer()) {
+    tr->complete(t.thread_id(), begin, t.now(),
+                 "release " + stats_.name);
+  }
+}
+
+}  // namespace glocks::locks

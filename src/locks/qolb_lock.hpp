@@ -1,0 +1,40 @@
+// QOLB lock handle: hardware queue threaded through the caches with
+// direct releaser-to-successor handoff (mem/qolb.hpp; after Kägi, Burger
+// & Goodman, ISCA 1997 — the paper's Section II hardware predecessor).
+//
+// In the ladder it sits between SB and GLocks: like SB the queueing is in
+// hardware and the spin is local, but each contended handoff costs ONE
+// mesh traversal (direct grant) instead of two (release + grant via the
+// home). GLocks remove even that traversal from the data network.
+#pragma once
+
+#include "common/types.hpp"
+#include "locks/lock.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::locks {
+
+class QolbLock final : public Lock {
+ public:
+  QolbLock(mem::SimAllocator& heap, std::uint32_t num_cores)
+      : lock_id_(static_cast<std::uint32_t>(line_of(heap.alloc_line()))),
+        home_(lock_id_ % num_cores) {}
+
+  std::string_view kind_name() const override { return "qolb"; }
+  std::uint32_t lock_id() const { return lock_id_; }
+  CoreId home() const { return home_; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override {
+    co_await t.qolb_acquire(lock_id_, home_);
+  }
+  core::Task<void> do_release(core::ThreadApi& t) override {
+    co_await t.qolb_release(lock_id_, home_);
+  }
+
+ private:
+  std::uint32_t lock_id_;
+  CoreId home_;
+};
+
+}  // namespace glocks::locks

@@ -1,0 +1,71 @@
+// Scalable/fair software locks: Ticket, Array-based, and MCS (Section II).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "locks/lock.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::locks {
+
+/// Ticket Lock: fetch&increment a ticket counter, spin until the
+/// now-serving counter reaches the ticket. FIFO-fair; all waiters spin on
+/// the same line, so each release invalidates every waiter.
+class TicketLock : public Lock {
+ public:
+  explicit TicketLock(mem::SimAllocator& heap, std::uint32_t num_threads);
+  std::string_view kind_name() const override { return "ticket"; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  Addr ticket_;       ///< own line
+  Addr now_serving_;  ///< own line
+  std::vector<Word> my_ticket_;  ///< per-thread architectural state
+};
+
+/// Array-based Lock: each waiter spins on its own slot (own cache line),
+/// so a release invalidates exactly one waiter.
+class ArrayLock : public Lock {
+ public:
+  ArrayLock(mem::SimAllocator& heap, std::uint32_t num_threads);
+  std::string_view kind_name() const override { return "array"; }
+  void preload(mem::BackingStore& memory) override;
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  Addr next_idx_;   ///< fetch&inc dispenser, own line
+  Addr slots_;      ///< num_threads consecutive lines
+  std::uint32_t num_slots_;
+  std::vector<Word> my_slot_;  ///< per-thread slot index
+};
+
+/// MCS Lock (Mellor-Crummey & Scott): a distributed queue of waiting
+/// threads, each spinning on a locally-cached flag in its own queue node.
+/// The paper's software baseline for highly-contended locks.
+class McsLock : public Lock {
+ public:
+  McsLock(mem::SimAllocator& heap, std::uint32_t num_threads);
+  std::string_view kind_name() const override { return "mcs"; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  // Queue node layout: word 0 = next (simulated pointer, 0 == null),
+  // word 1 = locked flag. One line per node, one node per thread.
+  static constexpr std::uint64_t kNextOff = 0;
+  static constexpr std::uint64_t kLockedOff = sizeof(Word);
+
+  Addr tail_;  ///< own line; 0 == unlocked with empty queue
+  std::vector<Addr> qnode_;  ///< per-thread queue node address
+};
+
+}  // namespace glocks::locks

@@ -1,0 +1,53 @@
+#include "locks/reactive_lock.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glocks::locks {
+
+using core::Task;
+using core::ThreadApi;
+
+ReactiveLock::ReactiveLock(mem::SimAllocator& heap,
+                           std::uint32_t num_threads,
+                           std::uint32_t threshold)
+    : simple_(heap), queue_(heap, num_threads), threshold_(threshold) {}
+
+void ReactiveLock::preload(mem::BackingStore& memory) {
+  simple_.preload(memory);
+  queue_.preload(memory);
+}
+
+Task<void> ReactiveLock::do_acquire(ThreadApi& t) {
+  if (active_ == 0) {
+    // Quiescent point: re-evaluate the mode from the last busy period.
+    const bool want_queue = peak_ > threshold_;
+    if (want_queue != queue_mode_) {
+      queue_mode_ = want_queue;
+      ++mode_switches_;
+    }
+    peak_ = 0;
+  }
+  ++active_;
+  peak_ = std::max(peak_, active_);
+  // The mode is fixed for the whole busy period (it only changes when
+  // active_ was zero), so all concurrent threads take the same path.
+  if (queue_mode_) {
+    co_await queue_.acquire(t);
+  } else {
+    co_await simple_.acquire(t);
+  }
+}
+
+Task<void> ReactiveLock::do_release(ThreadApi& t) {
+  GLOCKS_CHECK(active_ > 0, "release on an idle reactive lock");
+  if (queue_mode_) {
+    co_await queue_.release(t);
+  } else {
+    co_await simple_.release(t);
+  }
+  --active_;
+}
+
+}  // namespace glocks::locks

@@ -1,0 +1,45 @@
+// SB lock: handle over the Synchronization-operation Buffer hardware
+// (mem/sync_buffer.hpp, after Monchiero et al. [16]).
+//
+// Acquire sends one control message to the lock's home tile over the
+// main data network and spins on a local station register until the
+// buffer's FIFO grant comes back; release is one message. Contrast with
+// GLocks: the queueing is equally in hardware, but every handoff costs
+// two mesh traversals and shows up as interconnect traffic — the memory-
+// hierarchy coupling the paper's Section II identifies in prior hardware
+// proposals.
+#pragma once
+
+#include "common/types.hpp"
+#include "locks/lock.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::locks {
+
+class SbLock final : public Lock {
+ public:
+  /// The lock id doubles as its home selector (id mod num_cores). Ids
+  /// come from the heap's line numbers so that every SbLock in a run is
+  /// distinct and homes spread across tiles.
+  SbLock(mem::SimAllocator& heap, std::uint32_t num_cores)
+      : lock_id_(static_cast<std::uint32_t>(line_of(heap.alloc_line()))),
+        home_(lock_id_ % num_cores) {}
+
+  std::string_view kind_name() const override { return "sb"; }
+  std::uint32_t lock_id() const { return lock_id_; }
+  CoreId home() const { return home_; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override {
+    co_await t.sb_acquire(lock_id_, home_);
+  }
+  core::Task<void> do_release(core::ThreadApi& t) override {
+    co_await t.sb_release(lock_id_, home_);
+  }
+
+ private:
+  std::uint32_t lock_id_;
+  CoreId home_;
+};
+
+}  // namespace glocks::locks

@@ -1,0 +1,42 @@
+#include "locks/special_locks.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glocks::locks {
+
+using core::Task;
+using core::ThreadApi;
+
+Task<void> IdealLock::do_acquire(ThreadApi& t) {
+  const std::uint32_t me = t.thread_id();
+  co_await t.compute(1);  // the single-cycle acquire operation
+  if (owner_ == kFree && waiters_.empty()) {
+    owner_ = me;
+    co_return;
+  }
+  waiters_.push_back(me);
+  while (owner_ != me) {
+    co_await t.compute(1);
+  }
+}
+
+Task<void> IdealLock::do_release(ThreadApi& t) {
+  GLOCKS_CHECK(owner_ == t.thread_id(),
+               "ideal lock released by thread " << t.thread_id()
+                                                << " but owned by " << owner_);
+  co_await t.compute(1);  // the single-cycle release operation
+  if (waiters_.empty()) {
+    owner_ = kFree;
+  } else {
+    owner_ = waiters_.front();
+    waiters_.pop_front();
+  }
+}
+
+Task<void> GLock::do_acquire(ThreadApi& t) { co_await t.gl_acquire(id_); }
+
+Task<void> GLock::do_release(ThreadApi& t) { co_await t.gl_release(id_); }
+
+}  // namespace glocks::locks

@@ -1,0 +1,47 @@
+// IdealLock (the Figure 1 oracle) and GLock (the hardware lock handle).
+#pragma once
+
+#include <deque>
+
+#include "common/types.hpp"
+#include "locks/lock.hpp"
+
+namespace glocks::locks {
+
+/// The paper's "ideal lock": no cache-coherence involvement, single-cycle
+/// acquire and release, FIFO grant. Implemented as magic simulator state —
+/// it deliberately bypasses the machine, which is exactly its point: it
+/// bounds what any lock implementation could achieve.
+class IdealLock : public Lock {
+ public:
+  std::string_view kind_name() const override { return "ideal"; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  static constexpr std::uint32_t kFree = ~std::uint32_t{0};
+  std::uint32_t owner_ = kFree;
+  std::deque<std::uint32_t> waiters_;  ///< FIFO of thread ids
+};
+
+/// A handle on one of the chip's hardware GLocks. Acquire sets the
+/// lock_req register and spins on it (no memory traffic; the register is
+/// cleared by the local G-line controller when the TOKEN arrives);
+/// release sets lock_rel (paper Figure 5).
+class GLock : public Lock {
+ public:
+  explicit GLock(GlockId id) : id_(id) {}
+  std::string_view kind_name() const override { return "glock"; }
+  GlockId id() const { return id_; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  GlockId id_;
+};
+
+}  // namespace glocks::locks

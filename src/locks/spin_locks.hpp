@@ -1,0 +1,51 @@
+// Spin locks over a shared flag word: Simple (test&set), TATAS
+// (test-and-test&set) and TATAS with exponential back-off (Section II).
+#pragma once
+
+#include "common/types.hpp"
+#include "locks/lock.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::locks {
+
+/// Simple Lock: hammer test&set until it returns 0. Every attempt is an
+/// exclusive-ownership AMO, so the lock line ping-pongs across L1s and the
+/// coherence traffic grows with contention.
+class SimpleLock : public Lock {
+ public:
+  explicit SimpleLock(mem::SimAllocator& heap) : flag_(heap.alloc_line()) {}
+  std::string_view kind_name() const override { return "simple"; }
+  Addr flag_addr() const { return flag_; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  Addr flag_;
+};
+
+/// Test-and-test&set: spin with plain loads (which hit the local L1 in S)
+/// and only issue the test&set when the lock looks free. This is the
+/// paper's baseline for non-contended locks.
+class TatasLock : public Lock {
+ public:
+  /// `backoff_cap` > 0 enables exponential back-off between failed
+  /// attempts (delay doubles from 4 cycles up to the cap).
+  explicit TatasLock(mem::SimAllocator& heap, std::uint32_t backoff_cap = 0)
+      : flag_(heap.alloc_line()), backoff_cap_(backoff_cap) {}
+  std::string_view kind_name() const override {
+    return backoff_cap_ > 0 ? "tatas-backoff" : "tatas";
+  }
+  Addr flag_addr() const { return flag_; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  Addr flag_;
+  std::uint32_t backoff_cap_;
+};
+
+}  // namespace glocks::locks

@@ -1,0 +1,92 @@
+#include "locks/virtual_glock.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glocks::locks {
+
+using core::Task;
+using core::ThreadApi;
+
+VirtualGlock::VirtualGlock(VirtualGlockPool& pool, mem::SimAllocator& heap,
+                           std::uint32_t num_threads)
+    : pool_(pool), fallback_(heap, num_threads) {}
+
+Task<void> VirtualGlock::do_acquire(ThreadApi& t) {
+  // Mode selection happens without suspension points, so it is atomic
+  // with respect to other simulated threads.
+  if (mode_ == Mode::kIdle) {
+    GLOCKS_CHECK(active_ == 0, "idle lock with active threads");
+    if (!physical_) physical_ = pool_.acquire_binding(*this);
+    if (physical_) {
+      mode_ = Mode::kHardware;
+    } else {
+      mode_ = Mode::kSoftware;
+      ++pool_.software_activations_;
+    }
+    ++active_;
+    co_await t.compute(pool_.bind_cycles_);  // runtime bookkeeping
+  } else {
+    ++active_;
+  }
+  if (mode_ == Mode::kHardware) {
+    co_await t.gl_acquire(*physical_);
+  } else {
+    co_await fallback_.acquire(t);
+  }
+}
+
+Task<void> VirtualGlock::do_release(ThreadApi& t) {
+  GLOCKS_CHECK(active_ > 0 && mode_ != Mode::kIdle,
+               "release on an idle virtual GLock");
+  if (mode_ == Mode::kHardware) {
+    co_await t.gl_release(*physical_);
+  } else {
+    co_await fallback_.release(t);
+  }
+  if (--active_ == 0) {
+    // Last participant out: the lock goes idle. The binding is *kept*
+    // (warm rebind is free); the pool reclaims it if a sibling needs it.
+    mode_ = Mode::kIdle;
+  }
+}
+
+VirtualGlockPool::VirtualGlockPool(std::uint32_t num_physical,
+                                   std::uint64_t bind_cycles)
+    : bind_cycles_(bind_cycles) {
+  for (GlockId g = 0; g < num_physical; ++g) free_.push_back(g);
+}
+
+VirtualGlock& VirtualGlockPool::create(mem::SimAllocator& heap,
+                                       const std::string& name,
+                                       std::uint32_t num_threads) {
+  locks_.push_back(
+      std::make_unique<VirtualGlock>(*this, heap, num_threads));
+  locks_.back()->stats().name = name;
+  return *locks_.back();
+}
+
+std::optional<GlockId> VirtualGlockPool::acquire_binding(
+    const VirtualGlock& requester) {
+  if (!free_.empty()) {
+    const GlockId id = free_.back();
+    free_.pop_back();
+    ++binds_;
+    return id;
+  }
+  // Reclaim from an idle sibling that is sitting on a warm binding.
+  for (auto& lock : locks_) {
+    if (lock.get() == &requester) continue;
+    if (lock->bound() && lock->mode_ == VirtualGlock::Mode::kIdle) {
+      const GlockId id = *lock->physical_;
+      lock->physical_.reset();
+      ++binds_;
+      ++steals_;
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace glocks::locks

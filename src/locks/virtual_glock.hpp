@@ -1,0 +1,104 @@
+// GLock virtualization: the paper's Section V extension sketch.
+//
+// "The current GLocks mechanism does not consider multiprogrammed
+//  workloads. To deal with them, a few GLocks could be statically or
+//  dynamically shared among all of the workloads."
+//
+// VirtualGlockPool realizes the *dynamic* option: any number of logical
+// locks share the chip's few physical GLocks. A logical lock runs in one
+// mode at a time — hardware (a bound physical GLock) or software (its
+// embedded MCS fallback, the strongest software lock under contention) —
+// chosen when the lock goes from idle to
+// active, so the two mechanisms can never guard the same critical section
+// concurrently. An idle lock's binding can be reclaimed by the pool for
+// another lock that needs one, which is what makes the pool dynamic.
+//
+// The binding decision is modelled as runtime bookkeeping: it costs a
+// configurable number of cycles (default 30) but no memory traffic — a
+// real implementation would keep the table in per-chip registers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "locks/lock.hpp"
+#include "locks/queue_locks.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::locks {
+
+class VirtualGlockPool;
+
+/// A logical lock multiplexed onto the shared physical GLock pool.
+class VirtualGlock final : public Lock {
+ public:
+  VirtualGlock(VirtualGlockPool& pool, mem::SimAllocator& heap,
+               std::uint32_t num_threads);
+  std::string_view kind_name() const override { return "virtual-glock"; }
+
+  /// True while this lock currently holds a physical GLock binding.
+  bool bound() const { return physical_.has_value(); }
+  /// True when no thread is inside acquire / the CS / release.
+  bool quiet() const { return active_ == 0; }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  friend class VirtualGlockPool;
+
+  enum class Mode : std::uint8_t { kIdle, kHardware, kSoftware };
+
+  VirtualGlockPool& pool_;
+  McsLock fallback_;
+  std::optional<GlockId> physical_;
+  Mode mode_ = Mode::kIdle;
+  /// Threads currently inside acquire/CS/release. The mode may only
+  /// change when this is zero.
+  std::uint32_t active_ = 0;
+};
+
+/// Owns the physical GLock ids and hands them to logical locks on demand.
+class VirtualGlockPool {
+ public:
+  /// `num_physical` — hardware GLocks available (CmpConfig::gline.
+  /// num_glocks); `bind_cycles` — runtime bookkeeping cost charged to the
+  /// thread that activates an idle lock.
+  explicit VirtualGlockPool(std::uint32_t num_physical,
+                            std::uint64_t bind_cycles = 30);
+
+  /// Creates a logical lock sharing this pool; the pool owns it.
+  /// `num_threads` sizes the MCS fallback's queue nodes.
+  VirtualGlock& create(mem::SimAllocator& heap, const std::string& name,
+                       std::uint32_t num_threads = 64);
+
+  std::uint32_t free_physical() const {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+  std::uint64_t binds() const { return binds_; }
+  std::uint64_t steals() const { return steals_; }
+  std::uint64_t software_activations() const {
+    return software_activations_;
+  }
+  std::uint64_t bind_cost_cycles() const { return bind_cycles_; }
+
+ private:
+  friend class VirtualGlock;
+
+  /// Finds a physical GLock for `requester`: a free one, else one
+  /// reclaimed from an idle sibling. nullopt when all are busy.
+  std::optional<GlockId> acquire_binding(const VirtualGlock& requester);
+
+  std::uint64_t bind_cycles_;
+  std::vector<GlockId> free_;
+  std::vector<std::unique_ptr<VirtualGlock>> locks_;
+  std::uint64_t binds_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t software_activations_ = 0;
+};
+
+}  // namespace glocks::locks

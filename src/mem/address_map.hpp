@@ -1,0 +1,25 @@
+// Address-to-home mapping for the shared distributed L2.
+//
+// Lines are interleaved across tiles by line number, the standard layout
+// for tiled CMPs with a shared NUCA L2 (and the one Sim-PowerCMP models):
+// home(line) = line mod C.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace glocks::mem {
+
+class AddressMap {
+ public:
+  explicit AddressMap(std::uint32_t num_tiles) : num_tiles_(num_tiles) {}
+
+  CoreId home_of_line(Addr line) const {
+    return static_cast<CoreId>(line % num_tiles_);
+  }
+  CoreId home_of_addr(Addr addr) const { return home_of_line(line_of(addr)); }
+
+ private:
+  std::uint32_t num_tiles_;
+};
+
+}  // namespace glocks::mem

@@ -1,0 +1,378 @@
+#include "mem/directory.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glocks::mem {
+
+DirSlice::DirSlice(CoreId tile, std::uint32_t num_cores, const L2Config& cfg,
+                   Cycle memory_latency, Transport& transport,
+                   BackingStore& memory, const sim::Engine& engine)
+    : tile_(tile),
+      num_cores_(num_cores),
+      cfg_(cfg),
+      memory_latency_(memory_latency),
+      transport_(transport),
+      memory_(memory),
+      engine_(engine),
+      num_sets_(cfg.num_sets()),
+      l2_sets_(num_sets_, std::vector<L2Entry>(cfg.ways)) {}
+
+DirSlice::DirEntry& DirSlice::entry(Addr line) {
+  auto [it, inserted] = dir_.try_emplace(line);
+  if (inserted) it->second.sharers = SharerSet(num_cores_);
+  return it->second;
+}
+
+char DirSlice::probe_state(Addr line) const {
+  auto it = dir_.find(line);
+  if (it == dir_.end()) return '-';
+  switch (it->second.state) {
+    case DirState::kU: return 'U';
+    case DirState::kS: return 'S';
+    case DirState::kM: return 'M';
+  }
+  return '?';
+}
+
+std::uint32_t DirSlice::probe_sharers(Addr line) const {
+  auto it = dir_.find(line);
+  return it == dir_.end() ? 0 : it->second.sharers.count();
+}
+
+const LineData* DirSlice::probe_l2_data(Addr line) const {
+  const auto& set = l2_sets_[line % num_sets_];
+  for (const auto& e : set) {
+    if (e.valid && e.line == line) return &e.data;
+  }
+  return nullptr;
+}
+
+DirSlice::L2Entry* DirSlice::l2_find(Addr line) {
+  auto& set = l2_sets_[line % num_sets_];
+  for (auto& e : set) {
+    if (e.valid && e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+void DirSlice::l2_install(Addr line, const LineData& data, bool dirty,
+                          Cycle now) {
+  if (L2Entry* e = l2_find(line)) {
+    e->data = data;
+    e->dirty = e->dirty || dirty;
+    e->lru = now;
+    return;
+  }
+  auto& set = l2_sets_[line % num_sets_];
+  L2Entry* victim = nullptr;
+  for (auto& e : set) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (victim == nullptr || e.lru < victim->lru) victim = &e;
+  }
+  if (victim->valid && victim->dirty) {
+    ++stats_.memory_writebacks;
+    memory_.write_line(victim->line, victim->data);
+  }
+  victim->valid = true;
+  victim->line = line;
+  victim->data = data;
+  victim->dirty = dirty;
+  victim->lru = now;
+}
+
+std::pair<Cycle, LineData> DirSlice::read_line_data(Addr line, Cycle now) {
+  if (L2Entry* e = l2_find(line)) {
+    ++stats_.l2_hits;
+    e->lru = now;
+    return {cfg_.data_latency, e->data};
+  }
+  ++stats_.l2_misses;
+  ++stats_.memory_fetches;
+  const LineData data = memory_.read_line(line);
+  l2_install(line, data, /*dirty=*/false, now);
+  return {memory_latency_, data};
+}
+
+void DirSlice::send(CoreId dst, CohType type, Addr line, CoreId requester,
+                    bool exclusive, const LineData* data) {
+  auto msg = std::make_unique<CohMsg>();
+  msg->type = type;
+  msg->line = line;
+  msg->sender = tile_;
+  msg->requester = requester;
+  msg->exclusive = exclusive;
+  if (data != nullptr) msg->data = *data;
+  transport_.send(tile_, dst, std::move(msg));
+}
+
+void DirSlice::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
+  // Every message pays the bank's tag/lookup latency. A single constant
+  // keeps inbox ready-times monotonic, so strict FIFO processing preserves
+  // the per-(src,dst) ordering the protocol relies on.
+  inbox_.push_back(Inbox{ready + cfg_.tag_latency, std::move(msg)});
+}
+
+void DirSlice::start_request(std::unique_ptr<CohMsg> msg, Cycle now) {
+  const Addr line = msg->line;
+  const CoreId req = msg->sender;
+  DirEntry& e = entry(line);
+  Txn txn;
+  txn.type = msg->type;
+  txn.requester = req;
+
+  // A request from the line's recorded owner means its PutM is still in
+  // flight (requests and writebacks ride different virtual channels, so
+  // the request can overtake it). Park it; the PutM's arrival drains it.
+  if (e.state == DirState::kM && e.owner == req) {
+    ++stats_.deferred_requests;
+    deferred_[line].push_back(std::move(msg));
+    return;
+  }
+
+  if (msg->type == CohType::kGetS) {
+    ++stats_.gets;
+    if (e.state == DirState::kM) {
+      ++stats_.forwards_sent;
+      send(e.owner, CohType::kFwdGetS, line, req);
+      txn.phase = Phase::kWaitCopyBack;
+    } else {
+      auto [lat, data] = read_line_data(line, now);
+      read_buf_[line] = data;
+      txn.phase = Phase::kReadData;
+      txn.wake_at = now + lat;
+    }
+  } else {  // kGetX or kUpgrade
+    if (msg->type == CohType::kUpgrade) {
+      ++stats_.upgrades;
+    } else {
+      ++stats_.getx;
+    }
+    if (e.state == DirState::kM) {
+      ++stats_.forwards_sent;
+      send(e.owner, CohType::kFwdGetX, line, req);
+      txn.phase = Phase::kWaitFwdAck;
+    } else if (e.state == DirState::kS) {
+      // Only an Upgrade guarantees the requester still holds data; a GetX
+      // from a listed sharer means the S copy was silently evicted, so the
+      // stale sharer entry must not trigger the dataless grant.
+      txn.requester_had_copy =
+          msg->type == CohType::kUpgrade && e.sharers.contains(req);
+      std::uint32_t invs = 0;
+      for (CoreId s : e.sharers.to_vector()) {
+        if (s == req) continue;
+        ++invs;
+        ++stats_.invalidations_sent;
+        send(s, CohType::kInv, line, req);
+      }
+      if (invs > 0) {
+        txn.phase = Phase::kWaitInvAcks;
+        txn.pending_acks = invs;
+      } else if (txn.requester_had_copy) {
+        // Sole sharer upgrading: grant without data.
+        send(req, CohType::kAckComplete, line, req);
+        e.state = DirState::kM;
+        e.owner = req;
+        e.sharers.clear();
+        txns_.emplace(line, txn);  // placed then completed for symmetry
+        complete_txn(line, now);
+        return;
+      } else {
+        // No other sharer to invalidate and the requester needs data
+        // (GetX from a silent evictor, or an escalated Upgrade).
+        auto [lat, data] = read_line_data(line, now);
+        read_buf_[line] = data;
+        txn.phase = Phase::kReadData;
+        txn.wake_at = now + lat;
+      }
+    } else {  // kU
+      auto [lat, data] = read_line_data(line, now);
+      read_buf_[line] = data;
+      txn.phase = Phase::kReadData;
+      txn.wake_at = now + lat;
+    }
+  }
+  txns_.emplace(line, txn);
+}
+
+void DirSlice::after_inv_acks(Addr line, Txn& txn, Cycle now) {
+  DirEntry& e = entry(line);
+  if (txn.requester_had_copy) {
+    send(txn.requester, CohType::kAckComplete, line, txn.requester);
+    e.state = DirState::kM;
+    e.owner = txn.requester;
+    e.sharers.clear();
+    complete_txn(line, now);
+    return;
+  }
+  // Requester had no copy: data must still be provided.
+  auto [lat, data] = read_line_data(line, now);
+  read_buf_[line] = data;
+  txn.phase = Phase::kReadData;
+  txn.wake_at = now + lat;
+}
+
+void DirSlice::finish_read_phase(Addr line, Txn& txn, Cycle now) {
+  DirEntry& e = entry(line);
+  auto buf = read_buf_.find(line);
+  GLOCKS_CHECK(buf != read_buf_.end(), "read phase with no buffered data");
+  const LineData data = buf->second;
+  read_buf_.erase(buf);
+
+  if (txn.type == CohType::kGetS && e.state == DirState::kS) {
+    send(txn.requester, CohType::kData, line, txn.requester,
+         /*exclusive=*/false, &data);
+    e.sharers.add(txn.requester);
+  } else {
+    // GetS on an Uncached line is granted Exclusive (the MESI E
+    // optimization); GetX/Upgrade grants are always exclusive.
+    send(txn.requester, CohType::kData, line, txn.requester,
+         /*exclusive=*/true, &data);
+    e.state = DirState::kM;
+    e.owner = txn.requester;
+    e.sharers.clear();
+  }
+  complete_txn(line, now);
+}
+
+void DirSlice::complete_txn(Addr line, Cycle now) {
+  txns_.erase(line);
+  // Replay deferred work until a new transaction occupies the line or
+  // nothing progresses. A replayed request from the line's recorded
+  // owner re-parks itself (its PutM is queued behind it or still in the
+  // network); the no-progress check then either lets a queued PutM
+  // through on the next iteration or leaves the line idle until the
+  // PutM arrives.
+  while (txns_.count(line) == 0) {
+    auto it = deferred_.find(line);
+    if (it == deferred_.end() || it->second.empty()) {
+      if (it != deferred_.end()) deferred_.erase(it);
+      return;
+    }
+    const std::size_t before = it->second.size();
+    auto msg = std::move(it->second.front());
+    it->second.pop_front();
+    handle_msg(std::move(msg), now);
+    const auto it2 = deferred_.find(line);
+    const std::size_t after =
+        it2 == deferred_.end() ? 0 : it2->second.size();
+    if (after >= before) return;  // re-parked: wait for the PutM
+  }
+}
+
+void DirSlice::handle_msg(std::unique_ptr<CohMsg> msg, Cycle now) {
+  const Addr line = msg->line;
+  switch (msg->type) {
+    case CohType::kGetS:
+    case CohType::kGetX:
+    case CohType::kUpgrade: {
+      if (txns_.count(line) != 0) {
+        ++stats_.deferred_requests;
+        deferred_[line].push_back(std::move(msg));
+        return;
+      }
+      start_request(std::move(msg), now);
+      return;
+    }
+    case CohType::kPutM: {
+      if (txns_.count(line) != 0) {
+        // A transaction is touching this line (the evictor already served
+        // any forward from its writeback buffer); settle the PutM after.
+        deferred_[line].push_back(std::move(msg));
+        return;
+      }
+      ++stats_.putm;
+      DirEntry& e = entry(line);
+      if (e.state == DirState::kM && e.owner == msg->sender) {
+        l2_install(line, msg->data, /*dirty=*/true, now);
+        e.state = DirState::kU;
+        e.owner = kNoCore;
+      } else {
+        ++stats_.stale_putm;
+      }
+      send(msg->sender, CohType::kPutAck, line, msg->sender);
+      // A request that overtook this PutM may be parked on the line.
+      if (auto it = deferred_.find(line);
+          it != deferred_.end() && !it->second.empty() &&
+          txns_.count(line) == 0) {
+        auto parked = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) deferred_.erase(it);
+        handle_msg(std::move(parked), now);
+      }
+      return;
+    }
+    case CohType::kInvAck: {
+      auto it = txns_.find(line);
+      GLOCKS_CHECK(it != txns_.end() &&
+                       it->second.phase == Phase::kWaitInvAcks &&
+                       it->second.pending_acks > 0,
+                   "unexpected InvAck for line " << line);
+      if (--it->second.pending_acks == 0) {
+        after_inv_acks(line, it->second, now);
+      }
+      return;
+    }
+    case CohType::kCopyBack: {
+      auto it = txns_.find(line);
+      GLOCKS_CHECK(it != txns_.end() &&
+                       it->second.phase == Phase::kWaitCopyBack,
+                   "unexpected CopyBack for line " << line);
+      l2_install(line, msg->data, /*dirty=*/true, now);
+      DirEntry& e = entry(line);
+      e.state = DirState::kS;
+      e.owner = kNoCore;
+      e.sharers.clear();
+      e.sharers.add(msg->sender);          // the downgraded former owner
+      e.sharers.add(it->second.requester); // receives data cache-to-cache
+      complete_txn(line, now);
+      return;
+    }
+    case CohType::kFwdAck: {
+      auto it = txns_.find(line);
+      GLOCKS_CHECK(it != txns_.end() &&
+                       it->second.phase == Phase::kWaitFwdAck,
+                   "unexpected FwdAck for line " << line);
+      DirEntry& e = entry(line);
+      e.state = DirState::kM;
+      e.owner = it->second.requester;
+      e.sharers.clear();
+      complete_txn(line, now);
+      return;
+    }
+    default:
+      GLOCKS_UNREACHABLE("home received an L1-only message: "
+                         << to_string(msg->type));
+  }
+}
+
+void DirSlice::tick(Cycle now) {
+  // Wake matured read phases first so their grants leave this cycle.
+  if (!txns_.empty()) {
+    std::vector<Addr> ready_lines;
+    for (auto& [line, txn] : txns_) {
+      if (txn.phase == Phase::kReadData && txn.wake_at <= now) {
+        ready_lines.push_back(line);
+      }
+    }
+    std::sort(ready_lines.begin(), ready_lines.end());
+    for (Addr line : ready_lines) {
+      auto it = txns_.find(line);
+      if (it != txns_.end() && it->second.phase == Phase::kReadData &&
+          it->second.wake_at <= now) {
+        finish_read_phase(line, it->second, now);
+      }
+    }
+  }
+  while (!inbox_.empty() && inbox_.front().ready <= now) {
+    auto msg = std::move(inbox_.front().msg);
+    inbox_.pop_front();
+    handle_msg(std::move(msg), now);
+  }
+}
+
+}  // namespace glocks::mem

@@ -1,0 +1,164 @@
+// Private per-core L1 data cache.
+//
+// Blocking design: the in-order core has at most one outstanding memory
+// operation, so the L1 has a single MSHR. Lines are in M/E/S (absence = I).
+// Evicted M/E lines sit in a writeback buffer until the home acknowledges
+// the PutM, and forwarded requests that race with the eviction are served
+// from that buffer.
+//
+// Atomic read-modify-write operations (test&set, swap, fetch&add, CAS) are
+// performed by first obtaining the line in M, then applying the update in
+// the same cycle the exclusive grant lands — the blocking directory
+// guarantees no intervening remote access.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+#include "mem/protocol.hpp"
+#include "sim/engine.hpp"
+
+namespace glocks::mem {
+
+/// Sends coherence messages between tiles (mesh or same-tile bypass).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(CoreId src, CoreId dst, std::unique_ptr<CohMsg> msg) = 0;
+};
+
+/// Kinds of atomic read-modify-write the core can issue.
+enum class AmoKind : std::uint8_t {
+  kTestAndSet,   ///< old = word; word = 1;      returns old
+  kSwap,         ///< old = word; word = operand; returns old
+  kFetchAdd,     ///< old = word; word += operand; returns old
+  kCompareSwap,  ///< old = word; if (old == expected) word = operand; returns old
+};
+
+struct MemOp {
+  enum class Type : std::uint8_t { kLoad, kStore, kAmo };
+  Type type = Type::kLoad;
+  Addr addr = 0;       ///< word-aligned byte address
+  Word value = 0;      ///< store value / AMO operand
+  Word expected = 0;   ///< CAS comparand
+  AmoKind amo = AmoKind::kTestAndSet;
+};
+
+struct L1Stats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t amos = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t upgrades = 0;   ///< misses resolved by Upgrade
+  std::uint64_t writebacks = 0;
+  std::uint64_t invalidations_received = 0;
+  std::uint64_t forwards_served = 0;
+  std::uint64_t accesses() const { return loads + stores + amos; }
+};
+
+class L1Cache final : public sim::Component {
+ public:
+  using Callback = std::function<void(Word)>;
+
+  L1Cache(CoreId core, const L1Config& cfg, const AddressMap& amap,
+          Transport& transport, const sim::Engine& engine);
+
+  /// Starts a memory operation. Exactly one may be in flight; `done` fires
+  /// (with the loaded / pre-AMO value, 0 for stores) when it retires.
+  void issue(const MemOp& op, Callback done);
+
+  bool busy() const { return pending_.has_value(); }
+
+  /// No pending op, no unprocessed messages, no writeback awaiting ack.
+  bool quiet() const {
+    return !pending_.has_value() && inbox_.empty() && wb_buffer_.empty();
+  }
+
+  /// Incoming coherence message (from the transport).
+  void deliver(std::unique_ptr<CohMsg> msg, Cycle ready);
+
+  /// Sends a synchronization message (SB lock traffic) from this core's
+  /// tile; used by the SB lock awaiters, which have no transport handle.
+  void send_sync(CoreId dst, std::unique_ptr<CohMsg> msg) {
+    msg->sender = core_;
+    transport_.send(core_, dst, std::move(msg));
+  }
+
+  void tick(Cycle now) override;
+
+  const L1Stats& stats() const { return stats_; }
+
+  /// Test hook: current MESI state of a line ('M','E','S','I').
+  char probe_state(Addr line) const;
+
+  /// Returns the line's data iff this L1 owns it (M/E), else nullptr.
+  /// Used by coherent post-run verification, not by the timing model.
+  const LineData* probe_owned_data(Addr line) const;
+
+ private:
+  enum class LineState : std::uint8_t { kS, kE, kM };
+
+  struct Entry {
+    bool valid = false;
+    Addr line = 0;
+    LineState state = LineState::kS;
+    LineData data{};
+    Cycle lru = 0;
+  };
+
+  struct Pending {
+    MemOp op;
+    Callback done;
+    Cycle lookup_ready = 0;   ///< when the tag lookup completes
+    bool request_sent = false;
+    bool sent_upgrade = false;
+    bool upgrade_invalidated = false;
+    /// An Inv overtook our shared-data grant (virtual-channel reorder):
+    /// consume the fill for this op, then drop the line immediately.
+    bool fill_invalidate = false;
+    /// A forward overtook our exclusive-data grant: serve it right after
+    /// the fill completes. At most one (the home blocks per line).
+    std::unique_ptr<CohMsg> pending_fwd;
+  };
+
+  struct WbEntry {
+    Addr line;
+    LineData data;
+  };
+
+  struct Inbox {
+    Cycle ready;
+    std::unique_ptr<CohMsg> msg;
+  };
+
+  Entry* find(Addr line);
+  const Entry* find(Addr line) const;
+  Entry& victimize(Addr incoming_line, Cycle now);
+  void install(Addr line, const LineData& data, LineState st, Cycle now);
+  void complete_with_line(Entry& e, Cycle now);
+  void send_to_home(Addr line, CohType type, const LineData* data = nullptr,
+                    CoreId requester = kNoCore);
+  void handle_msg(CohMsg& msg, Cycle now);
+  Word apply_amo(LineData& data, std::uint32_t word_idx, const MemOp& op);
+
+  CoreId core_;
+  L1Config cfg_;
+  const AddressMap& amap_;
+  Transport& transport_;
+  const sim::Engine& engine_;
+  std::uint32_t num_sets_;
+  std::vector<std::vector<Entry>> sets_;
+  std::optional<Pending> pending_;
+  std::deque<WbEntry> wb_buffer_;
+  std::deque<Inbox> inbox_;
+  L1Stats stats_;
+};
+
+}  // namespace glocks::mem

@@ -1,0 +1,120 @@
+#include "mem/qolb.hpp"
+
+#include "common/check.hpp"
+#include "mem/l1_cache.hpp"  // Transport
+
+namespace glocks::mem {
+
+QolbHome::QolbHome(CoreId tile, Transport& transport,
+                   Cycle processing_latency)
+    : tile_(tile), transport_(transport), latency_(processing_latency) {}
+
+void QolbHome::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
+  inbox_.push_back(Inbox{ready + latency_, std::move(msg)});
+}
+
+void QolbHome::send(CoreId dst, CohType type, std::uint32_t lock_id,
+                    CoreId requester) {
+  auto msg = std::make_unique<CohMsg>();
+  msg->type = type;
+  msg->line = lock_id;
+  msg->sender = tile_;
+  msg->requester = requester;
+  transport_.send(tile_, dst, std::move(msg));
+}
+
+void QolbHome::tick(Cycle now) {
+  while (!inbox_.empty() && inbox_.front().ready <= now) {
+    auto msg = std::move(inbox_.front().msg);
+    inbox_.pop_front();
+    const auto lock_id = static_cast<std::uint32_t>(msg->line);
+    LockState& lock = locks_[lock_id];
+    switch (msg->type) {
+      case CohType::kQolbEnq: {
+        ++stats_.enqueues;
+        const CoreId newcomer = msg->sender;
+        if (!lock.held) {
+          lock.held = true;
+          lock.tail = newcomer;
+          ++stats_.cold_grants;
+          send(newcomer, CohType::kQolbGrant, lock_id, newcomer);
+        } else {
+          // Thread the queue: tell the previous tail who follows it.
+          const CoreId prev = lock.tail;
+          lock.tail = newcomer;
+          GLOCKS_CHECK(prev != newcomer,
+                       "core " << newcomer << " re-enqueued on QOLB lock "
+                               << lock_id << " it already waits on");
+          send(prev, CohType::kQolbSetSucc, lock_id, newcomer);
+        }
+        break;
+      }
+      case CohType::kQolbRelHome: {
+        ++stats_.home_releases;
+        const CoreId releaser = msg->sender;
+        GLOCKS_CHECK(lock.held,
+                     "QOLB release for free lock " << lock_id);
+        if (lock.tail == releaser) {
+          // Nobody queued behind: the lock is free again.
+          lock.held = false;
+          lock.tail = kNoCore;
+          send(releaser, CohType::kQolbRelAck, lock_id, releaser);
+        } else {
+          // An enqueue raced in; its SetSucc is already on its way to
+          // the releaser (same channel, so it arrives first). Tell the
+          // releaser to hand over directly.
+          send(releaser, CohType::kQolbRelRetry, lock_id, releaser);
+        }
+        break;
+      }
+      default:
+        GLOCKS_UNREACHABLE("QOLB home received " << to_string(msg->type));
+    }
+  }
+}
+
+void qolb_station_on_message(QolbStation& st, const CohMsg& msg,
+                             Transport& transport, CoreId self) {
+  const auto lock_id = static_cast<std::uint32_t>(msg.line);
+  switch (msg.type) {
+    case CohType::kQolbGrant:
+      GLOCKS_CHECK(st.waiting && st.lock_id == lock_id,
+                   "QOLB grant for lock " << lock_id << " at core " << self
+                                          << " with no waiter");
+      st.granted = true;
+      st.holding = true;
+      break;
+    case CohType::kQolbSetSucc:
+      GLOCKS_CHECK(st.successor == kNoCore,
+                   "QOLB successor overwritten at core " << self);
+      st.successor = msg.requester;
+      break;
+    case CohType::kQolbRelAck:
+      GLOCKS_CHECK(st.pending_home_release, "stray QOLB RelAck");
+      st.pending_home_release = false;
+      st.release_done = true;
+      break;
+    case CohType::kQolbRelRetry: {
+      // The successor announcement arrived before this (same channel):
+      // perform the direct cache-to-cache handoff now.
+      GLOCKS_CHECK(st.pending_home_release && st.successor != kNoCore,
+                   "QOLB RelRetry without a known successor at core "
+                       << self);
+      auto grant = std::make_unique<CohMsg>();
+      grant->type = CohType::kQolbGrant;
+      grant->line = lock_id;
+      grant->sender = self;
+      grant->requester = st.successor;
+      ++st.direct_grants_sent;
+      transport.send(self, st.successor, std::move(grant));
+      st.successor = kNoCore;
+      st.pending_home_release = false;
+      st.release_done = true;
+      break;
+    }
+    default:
+      GLOCKS_UNREACHABLE("QOLB station received " << to_string(msg.type));
+  }
+}
+
+}  // namespace glocks::mem

@@ -1,0 +1,96 @@
+#include "noc/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace glocks::noc {
+
+Mesh::Mesh(std::uint32_t num_tiles, std::uint32_t width, NocConfig cfg)
+    : width_(width), cfg_(cfg), nics_(num_tiles) {
+  GLOCKS_CHECK(width_ >= 1, "mesh width must be positive");
+  const RouterTiming timing{cfg_.router_latency, cfg_.link_latency,
+                            cfg_.input_queue_depth};
+  routers_.reserve(num_tiles);
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    routers_.push_back(std::make_unique<Router>(t % width_, t / width_,
+                                                width_, timing, stats_));
+  }
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    const std::uint32_t x = t % width_;
+    const std::uint32_t y = t / width_;
+    auto& r = *routers_[t];
+    if (x + 1 < width_ && t + 1 < num_tiles) r.connect(Dir::kEast,
+                                                       *routers_[t + 1]);
+    if (x > 0) r.connect(Dir::kWest, *routers_[t - 1]);
+    if (t + width_ < num_tiles) r.connect(Dir::kSouth, *routers_[t + width_]);
+    if (y > 0) r.connect(Dir::kNorth, *routers_[t - width_]);
+  }
+}
+
+void Mesh::set_sink(CoreId tile, Router::Sink sink) {
+  GLOCKS_CHECK(tile < routers_.size(), "sink tile out of range");
+  routers_[tile]->set_sink(std::move(sink));
+}
+
+void Mesh::send(Packet&& p) {
+  GLOCKS_CHECK(p.src < nics_.size() && p.dst < nics_.size(),
+               "packet endpoints out of range: " << p.src << "->" << p.dst);
+  GLOCKS_CHECK(p.src != p.dst,
+               "same-tile messages must bypass the mesh (tile " << p.src
+                                                                << ")");
+  p.seq = next_seq_++;
+  auto& nic = nics_[p.src];
+  nic.outbox[static_cast<std::size_t>(p.cls)].push_back(std::move(p));
+}
+
+void Mesh::send(CoreId src, CoreId dst, MsgClass cls,
+                std::uint32_t size_bytes,
+                std::unique_ptr<PacketData> payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.cls = cls;
+  p.size_bytes = size_bytes;
+  p.payload = std::move(payload);
+  send(std::move(p));
+}
+
+void Mesh::tick(Cycle now) {
+  GLOCKS_CHECK(last_tick_ == kNoCycle || now == last_tick_ + 1,
+               "mesh ticked out of order");
+  last_tick_ = now;
+  // NICs drain into routers first so an injection made during cycle N-1
+  // (endpoint tick) can enter the router fabric at cycle N. Classes
+  // drain independently into their own virtual channels.
+  for (std::uint32_t t = 0; t < nics_.size(); ++t) {
+    for (auto& outbox : nics_[t].outbox) {
+      while (!outbox.empty()) {
+        if (!routers_[t]->inject(std::move(outbox.front()), now)) break;
+        outbox.pop_front();
+      }
+    }
+  }
+  for (auto& r : routers_) r->tick(now);
+}
+
+bool Mesh::idle() const {
+  for (const auto& nic : nics_) {
+    for (const auto& q : nic.outbox) {
+      if (!q.empty()) return false;
+    }
+  }
+  for (const auto& r : routers_) {
+    if (!r->idle()) return false;
+  }
+  return true;
+}
+
+std::uint32_t Mesh::hop_distance(CoreId a, CoreId b) const {
+  const auto ax = static_cast<int>(a % width_), ay = static_cast<int>(a / width_);
+  const auto bx = static_cast<int>(b % width_), by = static_cast<int>(b / width_);
+  return static_cast<std::uint32_t>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+}  // namespace glocks::noc

@@ -1,0 +1,73 @@
+// The 2D-mesh interconnect: routers, per-tile network interfaces, wiring.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "noc/message.hpp"
+#include "noc/router.hpp"
+#include "sim/engine.hpp"
+
+namespace glocks::noc {
+
+/// The whole on-chip data network. One sim::Component: ticking the mesh
+/// ticks every NIC and router in a fixed order.
+///
+/// Endpoints send with `send()` (unbounded NIC outbox, so callers never
+/// handle backpressure) and receive through the per-tile sink registered
+/// with `set_sink()`. Messages between an endpoint and itself are not
+/// allowed here — the memory system short-circuits same-tile traffic,
+/// matching the paper's observation that local L2 slice accesses produce
+/// no network traffic.
+class Mesh final : public sim::Component {
+ public:
+  Mesh(std::uint32_t num_tiles, std::uint32_t width, NocConfig cfg);
+
+  std::uint32_t num_tiles() const {
+    return static_cast<std::uint32_t>(nics_.size());
+  }
+  std::uint32_t width() const { return width_; }
+
+  void set_sink(CoreId tile, Router::Sink sink);
+
+  /// Queues `p` for injection at tile `p.src`. Never fails; the NIC holds
+  /// packets until the router's local port has room.
+  void send(Packet&& p);
+
+  /// Builds a packet and queues it. `payload` may be null.
+  void send(CoreId src, CoreId dst, MsgClass cls, std::uint32_t size_bytes,
+            std::unique_ptr<PacketData> payload);
+
+  void tick(Cycle now) override;
+
+  const TrafficStats& stats() const { return stats_; }
+  TrafficStats& stats() { return stats_; }
+
+  /// True when no packet is anywhere in the network (for drain tests).
+  bool idle() const;
+
+  /// Minimal hop distance between two tiles.
+  std::uint32_t hop_distance(CoreId a, CoreId b) const;
+
+ private:
+  struct Nic {
+    /// Per-class outboxes, so a burst in one class cannot head-of-line
+    /// block another class at the injection point.
+    std::array<std::deque<Packet>, kNumMsgClasses> outbox;
+  };
+
+  std::uint32_t width_;
+  NocConfig cfg_;
+  TrafficStats stats_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<Nic> nics_;
+  std::uint64_t next_seq_ = 0;
+  Cycle last_tick_ = kNoCycle;
+};
+
+}  // namespace glocks::noc

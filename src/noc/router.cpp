@@ -1,0 +1,103 @@
+#include "noc/router.hpp"
+
+#include "common/check.hpp"
+
+namespace glocks::noc {
+
+Router::Router(std::uint32_t x, std::uint32_t y, std::uint32_t mesh_w,
+               RouterTiming timing, TrafficStats& stats)
+    : x_(x), y_(y), mesh_w_(mesh_w), timing_(timing), stats_(stats) {}
+
+bool Router::inject(Packet&& p, Cycle now) {
+  auto& q = in_[idx(Dir::kLocal)][static_cast<std::size_t>(p.cls)];
+  if (q.size() >= timing_.input_queue_depth) return false;
+  stats_.record_injection(p.cls);
+  q.push_back(Timed{now + 1, std::move(p)});
+  return true;
+}
+
+bool Router::can_accept(Dir in, MsgClass cls) const {
+  return in_[idx(in)][static_cast<std::size_t>(cls)].size() <
+         timing_.input_queue_depth;
+}
+
+void Router::accept(Dir in, Packet&& p, Cycle ready) {
+  auto& q = in_[idx(in)][static_cast<std::size_t>(p.cls)];
+  GLOCKS_CHECK(q.size() < timing_.input_queue_depth,
+               "router (" << x_ << "," << y_ << ") port " << idx(in)
+                          << " overflow");
+  q.push_back(Timed{ready, std::move(p)});
+}
+
+Dir Router::route(std::uint32_t dst_x, std::uint32_t dst_y) const {
+  // XY dimension-order: resolve X first, then Y. Deadlock-free on a mesh.
+  if (dst_x > x_) return Dir::kEast;
+  if (dst_x < x_) return Dir::kWest;
+  if (dst_y > y_) return Dir::kSouth;
+  if (dst_y < y_) return Dir::kNorth;
+  return Dir::kLocal;
+}
+
+void Router::forward(Dir out, Packet&& p, Cycle now) {
+  // Every switch traversal counts towards the Figure 9 byte totals.
+  stats_.record_hop(p.cls, p.size_bytes);
+  if (out == Dir::kLocal) {
+    local_out_.push_back(Timed{now + timing_.router_latency, std::move(p)});
+    return;
+  }
+  Router* n = neighbors_[idx(out)];
+  GLOCKS_CHECK(n != nullptr, "router (" << x_ << "," << y_
+                                        << ") forwards to missing neighbor");
+  n->accept(opposite(out), std::move(p),
+            now + timing_.router_latency + timing_.link_latency);
+}
+
+void Router::tick(Cycle now) {
+  // Deliver matured local packets (at most one per cycle: the local
+  // ejection port has unit bandwidth like every other port).
+  if (!local_out_.empty() && local_out_.front().ready <= now) {
+    GLOCKS_CHECK(sink_, "router (" << x_ << "," << y_ << ") has no sink");
+    Packet p = std::move(local_out_.front().pkt);
+    local_out_.pop_front();
+    sink_(std::move(p));
+  }
+
+  // Arbitration: each output port accepts at most one packet this cycle;
+  // each (input port, virtual channel) releases at most its head. The
+  // scan starts at a rotating offset over the port x class grid, so no
+  // port or class can starve another.
+  constexpr std::size_t kSlots = kNumDirs * kNumMsgClasses;
+  bool out_used[kNumDirs] = {};
+  for (std::size_t scan = 0; scan < kSlots; ++scan) {
+    const std::size_t slot = (rr_ + scan) % kSlots;
+    const std::size_t i = slot / kNumMsgClasses;
+    const std::size_t vc = slot % kNumMsgClasses;
+    auto& q = in_[i][vc];
+    if (q.empty() || q.front().ready > now) continue;
+    Packet& head = q.front().pkt;
+    const std::uint32_t dx = head.dst % mesh_w_;
+    const std::uint32_t dy = head.dst / mesh_w_;
+    const Dir out = route(dx, dy);
+    if (out_used[idx(out)]) continue;
+    if (out != Dir::kLocal &&
+        !neighbors_[idx(out)]->can_accept(opposite(out), head.cls)) {
+      continue;  // backpressure: downstream FIFO (same class) full
+    }
+    out_used[idx(out)] = true;
+    Packet p = std::move(head);
+    q.pop_front();
+    forward(out, std::move(p), now);
+  }
+  rr_ = (rr_ + 1) % kSlots;
+}
+
+bool Router::idle() const {
+  for (const auto& port : in_) {
+    for (const auto& q : port) {
+      if (!q.empty()) return false;
+    }
+  }
+  return local_out_.empty();
+}
+
+}  // namespace glocks::noc

@@ -1,0 +1,112 @@
+// A 5-port 2D-mesh router with XY dimension-order routing and one
+// virtual channel per message class.
+//
+// Model: one bounded FIFO per (input port, message class); each cycle
+// every output port forwards at most one packet, arbitrated round-robin
+// across (port, class) pairs, so a burst of Coherence traffic cannot
+// head-of-line-block Replies sharing the port. Messages of one class
+// between one (source, destination) pair still deliver in FIFO order —
+// the ordering property the protocol relies on. A forwarded packet
+// becomes visible at the next router after router_latency + link_latency
+// cycles; a packet routed to the local port is handed to the tile's sink
+// after router_latency cycles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "noc/message.hpp"
+
+namespace glocks::noc {
+
+enum class Dir : std::uint8_t {
+  kLocal = 0,
+  kNorth = 1,
+  kSouth = 2,
+  kEast = 3,
+  kWest = 4
+};
+inline constexpr std::size_t kNumDirs = 5;
+
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::kNorth:
+      return Dir::kSouth;
+    case Dir::kSouth:
+      return Dir::kNorth;
+    case Dir::kEast:
+      return Dir::kWest;
+    case Dir::kWest:
+      return Dir::kEast;
+    case Dir::kLocal:
+      return Dir::kLocal;
+  }
+  return Dir::kLocal;
+}
+
+struct RouterTiming {
+  Cycle router_latency = 3;
+  Cycle link_latency = 1;
+  std::uint32_t input_queue_depth = 16;
+};
+
+class Router {
+ public:
+  using Sink = std::function<void(Packet&&)>;
+
+  /// `x`,`y` — mesh coordinates; `mesh_w` — mesh width for XY routing.
+  Router(std::uint32_t x, std::uint32_t y, std::uint32_t mesh_w,
+         RouterTiming timing, TrafficStats& stats);
+
+  std::uint32_t x() const { return x_; }
+  std::uint32_t y() const { return y_; }
+
+  /// Wires the output in direction `d` to `neighbor` (non-owning).
+  void connect(Dir d, Router& neighbor) { neighbors_[idx(d)] = &neighbor; }
+  /// Registers the callback receiving packets addressed to this tile.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Attempts to place a locally-injected packet into the local input
+  /// port; returns false when that FIFO is full. The packet becomes
+  /// routable next cycle.
+  bool inject(Packet&& p, Cycle now);
+
+  /// Called by the upstream router when it forwards a packet here.
+  /// Capacity must have been checked with can_accept() in the same cycle.
+  void accept(Dir in, Packet&& p, Cycle ready);
+  bool can_accept(Dir in, MsgClass cls) const;
+
+  /// One cycle of arbitration + forwarding + local delivery.
+  void tick(Cycle now);
+
+  /// True when every queue (inputs and pending local deliveries) is empty.
+  bool idle() const;
+
+  /// Decides the output direction for a packet destined to tile coords.
+  Dir route(std::uint32_t dst_x, std::uint32_t dst_y) const;
+
+ private:
+  struct Timed {
+    Cycle ready;
+    Packet pkt;
+  };
+
+  static std::size_t idx(Dir d) { return static_cast<std::size_t>(d); }
+  void forward(Dir out, Packet&& p, Cycle now);
+
+  std::uint32_t x_, y_, mesh_w_;
+  RouterTiming timing_;
+  TrafficStats& stats_;
+  /// Input FIFOs: [port][virtual channel (message class)].
+  std::array<std::array<std::deque<Timed>, kNumMsgClasses>, kNumDirs> in_;
+  std::array<Router*, kNumDirs> neighbors_{};
+  std::deque<Timed> local_out_;
+  Sink sink_;
+  std::uint32_t rr_ = 0;  ///< round-robin start index for input arbitration
+};
+
+}  // namespace glocks::noc

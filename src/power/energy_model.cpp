@@ -1,0 +1,80 @@
+#include "power/energy_model.hpp"
+
+#include <sstream>
+
+namespace glocks::power {
+
+std::string EnergyReport::to_table() const {
+  std::ostringstream oss;
+  auto row = [&](const char* name, double pj) {
+    oss << name << "  " << pj / 1e6 << " uJ\n";
+  };
+  row("cores    ", cores);
+  row("L1       ", l1);
+  row("L2 + dir ", l2_dir);
+  row("network  ", network);
+  row("memory   ", memory);
+  row("G-lines  ", gline);
+  row("leakage  ", leakage);
+  row("total    ", total());
+  return oss.str();
+}
+
+EnergyReport EnergyModel::estimate(const ActivityCounts& a) const {
+  const EnergyParams& p = params_;
+  EnergyReport e;
+
+  // Cores: every retired micro-op plus cheap upkeep on stalled cycles.
+  // GLock register spins are cheaper still (a register-file read and a
+  // branch, no cache access, per paper Section IV-D.3).
+  const std::uint64_t plain_stalls =
+      a.stall_cycles > a.gline_spin_cycles
+          ? a.stall_cycles - a.gline_spin_cycles
+          : 0;
+  e.cores = static_cast<double>(a.uops) * p.core_uop_pj +
+            static_cast<double>(plain_stalls) * p.core_stall_cycle_pj +
+            static_cast<double>(a.gline_spin_cycles) *
+                p.core_regspin_cycle_pj;
+
+  // L1: one array access per load/store/AMO; installs/forwards/invs are
+  // additional accesses.
+  const std::uint64_t l1_events = a.l1.accesses() + a.l1.misses +
+                                  a.l1.invalidations_received +
+                                  a.l1.forwards_served + a.l1.writebacks;
+  e.l1 = static_cast<double>(l1_events) * p.l1_access_pj;
+
+  // L2 data array + directory bank.
+  e.l2_dir = static_cast<double>(a.dir.l2_accesses()) * p.l2_access_pj +
+             static_cast<double>(a.dir.gets + a.dir.getx + a.dir.upgrades +
+                                 a.dir.putm) *
+                 p.dir_lookup_pj;
+
+  // Interconnect: Orion-style energy proportional to byte-hops.
+  e.network = static_cast<double>(a.noc.total_bytes()) * p.noc_byte_hop_pj;
+
+  e.memory = static_cast<double>(a.dir.memory_fetches +
+                                 a.dir.memory_writebacks) *
+             p.memory_access_pj;
+
+  // Dedicated lock network: signals plus controller activity (grants and
+  // releases each involve one scheduling decision).
+  e.gline =
+      static_cast<double>(a.gline.signals) * p.gline_signal_pj +
+      static_cast<double>(a.gline.acquires_granted + a.gline.releases +
+                          a.gline.local_flags) *
+          p.gline_controller_pj;
+
+  e.leakage = static_cast<double>(a.cycles) *
+              static_cast<double>(a.num_tiles) * p.tile_leakage_pj_per_cycle;
+  return e;
+}
+
+double EnergyModel::ed2p(const EnergyReport& e, Cycle cycles,
+                         std::uint32_t clock_mhz) {
+  const double seconds =
+      static_cast<double>(cycles) / (static_cast<double>(clock_mhz) * 1e6);
+  const double joules = e.total() * 1e-12;
+  return joules * seconds * seconds;
+}
+
+}  // namespace glocks::power

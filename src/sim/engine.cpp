@@ -1,0 +1,25 @@
+#include "sim/engine.hpp"
+
+#include "common/check.hpp"
+
+namespace glocks::sim {
+
+void Engine::step() {
+  for (Component* c : components_) {
+    c->tick(now_);
+  }
+  ++now_;
+}
+
+Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  while (!done()) {
+    GLOCKS_CHECK(now_ < max_cycles,
+                 "simulation exceeded " << max_cycles
+                                        << " cycles — deadlock or runaway "
+                                           "workload");
+    step();
+  }
+  return now_;
+}
+
+}  // namespace glocks::sim

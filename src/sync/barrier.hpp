@@ -1,0 +1,97 @@
+// Barrier synchronization over the simulated memory system.
+//
+// The tree barrier is the "efficient tree barrier" the paper's simulator
+// library provides: a binary combining tree for arrival (at most two
+// threads touch any node counter, so its locks never become contended) and
+// a logarithmic wake-up wave on the way down. The central barrier exists
+// for comparison/ablation: all threads hammer one counter and one sense
+// line.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/task.hpp"
+#include "core/thread.hpp"
+#include "mem/sim_allocator.hpp"
+
+namespace glocks::sync {
+
+enum class BarrierKind : std::uint8_t { kTree, kCentral, kGline };
+
+struct BarrierStats {
+  std::uint64_t episodes = 0;  ///< completed barrier rounds (all threads)
+};
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+  Barrier() = default;
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks (in simulated time) until all threads have arrived. Cycles
+  /// spent inside are attributed to the Barrier category.
+  core::Task<void> await(core::ThreadApi& t);
+
+  const BarrierStats& stats() const { return stats_; }
+
+ protected:
+  virtual core::Task<void> do_await(core::ThreadApi& t) = 0;
+  BarrierStats stats_;
+};
+
+/// Binary combining-tree barrier, sense-reversed by round number.
+class TreeBarrier final : public Barrier {
+ public:
+  TreeBarrier(mem::SimAllocator& heap, std::uint32_t num_threads);
+
+ protected:
+  core::Task<void> do_await(core::ThreadApi& t) override;
+
+ private:
+  struct Node {
+    Addr count;      ///< arrival counter, own line
+    Addr release;    ///< round number of the last release, own line
+    std::uint32_t arity;   ///< expected arrivals (1 or 2)
+    int parent;      ///< index into nodes_, -1 at the root
+  };
+
+  std::uint32_t num_threads_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> leaf_of_;   ///< thread id -> leaf node index
+  std::vector<Word> round_;              ///< per-thread round counter
+};
+
+/// Hardware barrier handle over a G-line barrier unit ([22]): arrive is
+/// one register write; the AND-tree releases everyone in ~4 signal
+/// cycles with zero memory traffic. Provisioned via
+/// CmpConfig::gline.num_gbarriers.
+class GlineBarrier final : public Barrier {
+ public:
+  explicit GlineBarrier(std::uint32_t unit) : unit_(unit) {}
+
+ protected:
+  core::Task<void> do_await(core::ThreadApi& t) override;
+
+ private:
+  std::uint32_t unit_;
+};
+
+/// Centralized barrier: one fetch&add counter plus a global sense word.
+class CentralBarrier final : public Barrier {
+ public:
+  CentralBarrier(mem::SimAllocator& heap, std::uint32_t num_threads);
+
+ protected:
+  core::Task<void> do_await(core::ThreadApi& t) override;
+
+ private:
+  std::uint32_t num_threads_;
+  Addr count_;
+  Addr sense_;
+  std::vector<Word> round_;
+};
+
+}  // namespace glocks::sync

@@ -1,0 +1,62 @@
+// Tiny command-line flag parser for the glocksim tool.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace glocks::tools {
+
+class Args {
+ public:
+  /// Parses `--flag value` and `--flag` (boolean) style arguments.
+  /// Unrecognized positional arguments throw.
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& bool_flags) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      GLOCKS_CHECK(a.rfind("--", 0) == 0, "unexpected argument: " << a);
+      a = a.substr(2);
+      const bool is_bool =
+          std::find(bool_flags.begin(), bool_flags.end(), a) !=
+          bool_flags.end();
+      if (is_bool) {
+        values_[a] = "1";
+      } else {
+        GLOCKS_CHECK(i + 1 < argc, "flag --" << a << " needs a value");
+        values_[a] = argv[++i];
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::uint64_t get_u64(const std::string& name,
+                        std::uint64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::stoull(it->second);
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace glocks::tools

@@ -1,0 +1,91 @@
+// glocks-sweep — batch experiment runner producing one CSV table.
+//
+//   glocks-sweep --workloads SCTR,RAYTR --locks mcs,glock --cores 8,16,32
+//   glocks-sweep --all --locks mcs,glock > results.csv
+//
+// Flags:
+//   --workloads A,B,...   benchmarks to run (--all = every registry entry)
+//   --locks a,b,...       highly-contended lock kinds      [mcs,glock]
+//   --cores n1,n2,...     core counts                      [32]
+//   --scale X             input scale in (0,1]             [1.0]
+//   --seed N              workload seed                    [1]
+//   --all                 shorthand for every workload
+//
+// Output: the report CSV header plus one row per (workload, lock, cores),
+// with a `cores` column prepended. Rows stream as they finish, so partial
+// output is usable.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "tools/args.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace glocks;
+
+std::vector<std::string> split(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const tools::Args args(argc, argv, {"all"});
+
+    std::vector<std::string> workloads;
+    if (args.has("all")) {
+      workloads = [] {
+        std::vector<std::string> names;
+        for (const auto& e : workloads::registry()) names.push_back(e.name);
+        return names;
+      }();
+    } else {
+      workloads = split(args.get("workloads"));
+    }
+    GLOCKS_CHECK(!workloads.empty(),
+                 "nothing to run: pass --workloads or --all");
+
+    const auto lock_names = split(args.get("locks", "mcs,glock"));
+    const auto core_lists = split(args.get("cores", "32"));
+    const double scale = args.get_double("scale", 1.0);
+    const std::uint64_t seed = args.get_u64("seed", 1);
+
+    std::cout << "cores,";
+    harness::write_csv_header(std::cout);
+    for (const auto& wname : workloads) {
+      for (const auto& lname : lock_names) {
+        const auto kind = locks::parse_lock_kind(lname);
+        GLOCKS_CHECK(kind.has_value(), "unknown lock kind " << lname);
+        for (const auto& cstr : core_lists) {
+          harness::RunConfig cfg;
+          cfg.cmp.num_cores =
+              static_cast<std::uint32_t>(std::stoul(cstr));
+          cfg.policy.highly_contended = *kind;
+          cfg.seed = seed;
+          auto wl = workloads::make_workload(wname, scale);
+          const auto r = harness::run_workload(*wl, cfg);
+          std::cout << cfg.cmp.num_cores << ",";
+          harness::write_csv_row(r, std::cout);
+          std::cout.flush();
+        }
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "glocks-sweep: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,60 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace glocks::trace {
+
+namespace {
+
+/// Minimal JSON string escaping (event names are ASCII identifiers, but
+/// workload-provided lock names could contain anything).
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":")";
+    write_escaped(os, e.name);
+    os << R"(","ph":"X","pid":0,"tid":)" << e.tid << R"(,"ts":)" << e.begin
+       << R"(,"dur":)" << (e.end - e.begin) << "}";
+  }
+  os << "]\n";
+}
+
+void Tracer::write_text(std::ostream& os) const {
+  std::vector<const Event*> sorted;
+  sorted.reserve(events_.size());
+  for (const auto& e : events_) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->begin < b->begin;
+                   });
+  for (const Event* e : sorted) {
+    os << "[" << e->begin;
+    if (e->end != e->begin) os << ".." << e->end;
+    os << "] t" << e->tid << " " << e->name << "\n";
+  }
+  if (dropped_ > 0) os << "(" << dropped_ << " events dropped)\n";
+}
+
+}  // namespace glocks::trace

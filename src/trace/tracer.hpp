@@ -1,0 +1,60 @@
+// Event tracing: records synchronization-level events during a run and
+// exports them as Chrome trace JSON (load in chrome://tracing or Perfetto)
+// or plain text. Tracing is off unless a Tracer is attached, and costs
+// nothing in simulated time — it observes the run, never perturbs it.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace glocks::trace {
+
+/// One recorded event. Duration events have end >= begin; instants have
+/// end == begin.
+struct Event {
+  Cycle begin = 0;
+  Cycle end = 0;
+  std::uint32_t tid = 0;   ///< simulated thread / hardware track
+  std::string name;
+};
+
+class Tracer {
+ public:
+  /// `capacity` bounds memory; once full, further events are counted as
+  /// dropped rather than recorded.
+  explicit Tracer(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void complete(std::uint32_t tid, Cycle begin, Cycle end,
+                std::string name) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(Event{begin, end, tid, std::move(name)});
+  }
+
+  void instant(std::uint32_t tid, Cycle at, std::string name) {
+    complete(tid, at, at, std::move(name));
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Chrome trace-event JSON ("X" phase complete events; 1 cycle = 1 us
+  /// on the trace timeline so Perfetto's zoom is usable).
+  void write_chrome_json(std::ostream& os) const;
+
+  /// One line per event, sorted by begin cycle.
+  void write_text(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace glocks::trace

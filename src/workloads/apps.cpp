@@ -1,0 +1,358 @@
+#include "workloads/apps.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace glocks::workloads {
+
+using core::Task;
+using core::ThreadApi;
+using harness::WorkloadContext;
+using mem::AmoKind;
+
+namespace {
+
+/// Deterministic per-item hash used to generate scene-walk addresses.
+Word mix(Word h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Raytrace
+
+RaytraceLike::RaytraceLike() : p_{} {}
+
+void RaytraceLike::setup(WorkloadContext& ctx) {
+  ray_counter_ = ctx.heap().alloc_line();
+  stats_counter_ = ctx.heap().alloc_line();
+  scene_ = ctx.heap().alloc_lines(p_.scene_lines);
+  region_data_ = ctx.heap().alloc_lines(p_.region_locks);
+  // Fill the scene with deterministic values so traversal loads touch
+  // initialized memory.
+  for (std::uint32_t i = 0; i < p_.scene_lines * kWordsPerLine; ++i) {
+    ctx.memory().poke(scene_ + Addr{i} * sizeof(Word), mix(i + 1));
+  }
+  ctx.prewarm(scene_, Addr{p_.scene_lines} * kLineBytes);
+  ray_lock_ = &ctx.make_lock("RAYTR-L1", /*highly_contended=*/true);
+  stats_lock_ = &ctx.make_lock("RAYTR-L2", /*highly_contended=*/true);
+  region_locks_.clear();
+  for (std::uint32_t r = 0; r < p_.region_locks; ++r) {
+    region_locks_.push_back(&ctx.make_lock("RAYTR-LR" + std::to_string(r),
+                                           /*highly_contended=*/false));
+  }
+}
+
+Task<void> RaytraceLike::thread_body(ThreadApi& t, WorkloadContext&) {
+  const Word scene_words = Word{p_.scene_lines} * kWordsPerLine;
+  while (true) {
+    // H-C lock 1: the ray-id dispenser (SCTR pattern).
+    co_await ray_lock_->acquire(t);
+    const Word id = co_await t.load(ray_counter_);
+    co_await t.store(ray_counter_, id + 1);
+    co_await ray_lock_->release(t);
+    if (id >= p_.num_rays) break;
+
+    // Trace: a pseudo-random walk over the scene plus shading compute.
+    Word h = mix(id + 0x9E3779B97F4A7C15ULL);
+    Word accum = 0;
+    for (std::uint32_t k = 0; k < p_.loads_per_ray; ++k) {
+      h = mix(h + k);
+      accum += co_await t.load(scene_ + (h % scene_words) * sizeof(Word));
+    }
+    co_await t.compute(p_.compute_per_ray + (accum & 0x7));
+
+    // The low-contention tail: an occasional per-region update.
+    if (id % p_.region_update_every == 0) {
+      const std::uint32_t r = static_cast<std::uint32_t>(
+          (id / p_.region_update_every) % p_.region_locks);
+      co_await region_locks_[r]->acquire(t);
+      const Addr cell = region_data_ + Addr{r} * kLineBytes;
+      const Word v = co_await t.load(cell);
+      co_await t.store(cell, v + 1);
+      co_await region_locks_[r]->release(t);
+    }
+
+    // H-C lock 2: global statistics counter (SCTR pattern), updated on a
+    // fraction of the rays so the dispenser stays the hottest lock.
+    if (id % p_.stats_every == 0) {
+      co_await stats_lock_->acquire(t);
+      const Word s = co_await t.load(stats_counter_);
+      co_await t.store(stats_counter_, s + 1);
+      co_await stats_lock_->release(t);
+    }
+  }
+}
+
+void RaytraceLike::verify(WorkloadContext& ctx) {
+  // Every thread over-draws exactly once to discover termination.
+  const Word drawn = ctx.peek(ray_counter_);
+  GLOCKS_CHECK(drawn == p_.num_rays + ctx.num_threads(),
+               "RAYTR dispenser drew " << drawn);
+  const Word stats = ctx.peek(stats_counter_);
+  const Word stats_expected =
+      (p_.num_rays + p_.stats_every - 1) / p_.stats_every;
+  GLOCKS_CHECK(stats == stats_expected,
+               "RAYTR stats counter " << stats << " != " << stats_expected);
+  Word region_total = 0;
+  for (std::uint32_t r = 0; r < p_.region_locks; ++r) {
+    region_total += ctx.peek(region_data_ + Addr{r} * kLineBytes);
+  }
+  const Word expected =
+      (p_.num_rays + p_.region_update_every - 1) / p_.region_update_every;
+  GLOCKS_CHECK(region_total == expected,
+               "RAYTR region updates " << region_total << " != " << expected);
+}
+
+// ---------------------------------------------------------------- Ocean
+
+OceanLike::OceanLike() : p_{} {}
+
+void OceanLike::setup(WorkloadContext& ctx) {
+  GLOCKS_CHECK(p_.grid_dim % ctx.num_threads() == 0 ||
+                   p_.grid_dim >= ctx.num_threads(),
+               "grid smaller than the thread count");
+  grid_ = ctx.heap().alloc(Addr{p_.grid_dim} * p_.grid_dim * sizeof(Word),
+                           kLineBytes);
+  residual_ = ctx.heap().alloc_line();
+  boundary_flux_ = ctx.heap().alloc_line();
+  for (std::uint32_t r = 0; r < p_.grid_dim; ++r) {
+    for (std::uint32_t c = 0; c < p_.grid_dim; ++c) {
+      ctx.memory().poke(cell(r, c), (Word{r} * 31 + c) % 97);
+    }
+  }
+  ctx.prewarm(grid_, Addr{p_.grid_dim} * p_.grid_dim * sizeof(Word));
+  residual_lock_ = &ctx.make_lock("OCEAN-L0", /*highly_contended=*/true);
+  boundary_lock_[0] = &ctx.make_lock("OCEAN-LB0", /*highly_contended=*/false);
+  boundary_lock_[1] = &ctx.make_lock("OCEAN-LB1", /*highly_contended=*/false);
+  barrier_ = &ctx.make_tree_barrier();
+}
+
+Task<void> OceanLike::thread_body(ThreadApi& t, WorkloadContext& ctx) {
+  // Contiguous row partition; a cell's update depends only on the thread's
+  // own rows, so the grid evolution is deterministic (verify replays it).
+  const std::uint32_t n = ctx.num_threads();
+  const std::uint32_t tid = t.thread_id();
+  const std::uint32_t r0 = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(p_.grid_dim) * tid) / n);
+  const std::uint32_t r1 = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(p_.grid_dim) * (tid + 1)) / n);
+
+  for (std::uint32_t step = 0; step < p_.timesteps; ++step) {
+    Word partial = 0;
+    for (std::uint32_t r = r0; r < r1; ++r) {
+      for (std::uint32_t c = 0; c < p_.grid_dim; ++c) {
+        const Word v = co_await t.load(cell(r, c));
+        const std::uint32_t cr = (c + 1 < p_.grid_dim) ? c + 1 : c;
+        const Word e = co_await t.load(cell(r, cr));
+        const Word nv = v + ((v + e) >> 3) + step + 1;
+        co_await t.store(cell(r, c), nv);
+        co_await t.compute(p_.compute_per_cell);
+        partial += nv & 0xFF;
+      }
+      co_await t.compute(8);  // per-row loop overhead
+    }
+
+    // Global residual reduction: the highly-contended lock (SCTR-like,
+    // with all threads arriving close in time after the parallel sweep).
+    co_await residual_lock_->acquire(t);
+    const Word res = co_await t.load(residual_);
+    co_await t.store(residual_, res + partial);
+    co_await residual_lock_->release(t);
+
+    // Rarely-used boundary locks: only the edge partitions touch them.
+    // Each lock guards its own flux word (word 0 / word 1 of the line).
+    if ((tid == 0 || tid == n - 1) && step % p_.boundary_every == 0) {
+      const std::uint32_t side = tid == 0 ? 0 : 1;
+      const Addr flux = boundary_flux_ + Addr{side} * sizeof(Word);
+      co_await boundary_lock_[side]->acquire(t);
+      const Word f = co_await t.load(flux);
+      co_await t.store(flux, f + 1);
+      co_await boundary_lock_[side]->release(t);
+    }
+
+    co_await barrier_->await(t);
+  }
+}
+
+void OceanLike::verify(WorkloadContext& ctx) {
+  // Replay the deterministic evolution and compare residual + grid.
+  std::vector<Word> g(static_cast<std::size_t>(p_.grid_dim) * p_.grid_dim);
+  for (std::uint32_t r = 0; r < p_.grid_dim; ++r) {
+    for (std::uint32_t c = 0; c < p_.grid_dim; ++c) {
+      g[static_cast<std::size_t>(r) * p_.grid_dim + c] =
+          (Word{r} * 31 + c) % 97;
+    }
+  }
+  Word residual = 0;
+  for (std::uint32_t step = 0; step < p_.timesteps; ++step) {
+    for (std::uint32_t r = 0; r < p_.grid_dim; ++r) {
+      for (std::uint32_t c = 0; c < p_.grid_dim; ++c) {
+        auto& v = g[static_cast<std::size_t>(r) * p_.grid_dim + c];
+        const std::uint32_t cr = (c + 1 < p_.grid_dim) ? c + 1 : c;
+        const Word e = g[static_cast<std::size_t>(r) * p_.grid_dim + cr];
+        v = v + ((v + e) >> 3) + step + 1;
+        residual += v & 0xFF;
+      }
+    }
+  }
+  GLOCKS_CHECK(ctx.peek(residual_) == residual,
+               "OCEAN residual " << ctx.peek(residual_) << " != "
+                                 << residual);
+  for (std::uint32_t r = 0; r < p_.grid_dim; ++r) {
+    for (std::uint32_t c = 0; c < p_.grid_dim; ++c) {
+      GLOCKS_CHECK(
+          ctx.peek(cell(r, c)) ==
+              g[static_cast<std::size_t>(r) * p_.grid_dim + c],
+          "OCEAN grid mismatch at (" << r << "," << c << ")");
+    }
+  }
+  const std::uint32_t edge_threads = ctx.num_threads() >= 2 ? 2 : 1;
+  const Word flux_updates =
+      Word{(p_.timesteps + p_.boundary_every - 1) / p_.boundary_every} *
+      edge_threads;
+  const Word flux_sum = ctx.peek(boundary_flux_) +
+                        ctx.peek(boundary_flux_ + sizeof(Word));
+  GLOCKS_CHECK(flux_sum == flux_updates,
+               "OCEAN boundary flux " << flux_sum << " != " << flux_updates);
+}
+
+// ---------------------------------------------------------------- QSort
+
+QSort::QSort() : p_{} {}
+
+void QSort::setup(WorkloadContext& ctx) {
+  data_ = ctx.heap().alloc(Addr{p_.num_elements} * sizeof(Word), kLineBytes);
+  stack_top_ = ctx.heap().alloc_line();
+  // Outstanding ranges are disjoint subranges of [0, n), so n bounds the
+  // stack depth absolutely (in practice it stays near 2n/threshold).
+  stack_cap_ = p_.num_elements;
+  stack_ = ctx.heap().alloc(Addr{stack_cap_} * 2 * sizeof(Word), kLineBytes);
+  done_count_ = ctx.heap().alloc_line();
+
+  checksum_ = 0;
+  for (std::uint32_t i = 0; i < p_.num_elements; ++i) {
+    const Word v = ctx.rng().next() % 1000000;
+    ctx.memory().poke(elem(i), v);
+    checksum_ += v;
+  }
+  ctx.prewarm(data_, Addr{p_.num_elements} * sizeof(Word));
+  // Seed the queue with the whole array.
+  ctx.memory().poke(stack_ + 0, 0);
+  ctx.memory().poke(stack_ + 8, p_.num_elements);
+  ctx.memory().poke(stack_top_, 1);
+
+  queue_lock_ = &ctx.make_lock("QSORT-L0", /*highly_contended=*/true);
+}
+
+Task<void> QSort::thread_body(ThreadApi& t, WorkloadContext&) {
+  const Word n = p_.num_elements;
+  std::uint64_t idle_attempts = 0;
+  while (true) {
+    // Peek before locking: an empty stack must not cost a (FIFO-fair)
+    // lock acquisition, or 31 idle pollers would starve the one worker
+    // that needs the lock to publish new ranges.
+    if (co_await t.load(stack_top_) == 0) {
+      if (co_await t.load(done_count_) >= n) break;
+      ++idle_attempts;
+      co_await t.compute(
+          (std::uint64_t{16} << std::min<std::uint64_t>(idle_attempts, 8)) +
+          (t.thread_id() * 11 + idle_attempts * 5) % 73);
+      continue;
+    }
+    // Pop a range from the shared stack (PRCO-style critical section).
+    co_await queue_lock_->acquire(t);
+    const Word top = co_await t.load(stack_top_);
+    Word lo = 0, hi = 0;
+    if (top > 0) {
+      lo = co_await t.load(stack_ + (top - 1) * 16);
+      hi = co_await t.load(stack_ + (top - 1) * 16 + 8);
+      co_await t.store(stack_top_, top - 1);
+    }
+    co_await queue_lock_->release(t);
+
+    if (top == 0) continue;  // lost the race to another popper
+    idle_attempts = 0;
+
+    const Word len = hi - lo;
+    if (len <= p_.small_threshold) {
+      // Insertion sort in place.
+      for (Word k = lo + 1; k < hi; ++k) {
+        const Word key = co_await t.load(elem(k));
+        Word j = k;
+        while (j > lo) {
+          const Word v = co_await t.load(elem(j - 1));
+          co_await t.compute(p_.compute_per_elem);
+          if (v <= key) break;
+          co_await t.store(elem(j), v);
+          --j;
+        }
+        co_await t.store(elem(j), key);
+      }
+      co_await t.amo(AmoKind::kFetchAdd, done_count_, len);
+      continue;
+    }
+
+    // Partition (Lomuto, median-of-middle pivot moved to the end).
+    const Word mid = lo + len / 2;
+    const Word vm = co_await t.load(elem(mid));
+    const Word vl = co_await t.load(elem(hi - 1));
+    co_await t.store(elem(mid), vl);
+    co_await t.store(elem(hi - 1), vm);
+    const Word pivot = vm;
+    Word i = lo;
+    for (Word j = lo; j + 1 < hi; ++j) {
+      const Word vj = co_await t.load(elem(j));
+      co_await t.compute(p_.compute_per_elem);
+      if (vj < pivot) {
+        const Word vi = co_await t.load(elem(i));
+        co_await t.store(elem(i), vj);
+        co_await t.store(elem(j), vi);
+        ++i;
+      }
+    }
+    const Word vi = co_await t.load(elem(i));
+    co_await t.store(elem(i), pivot);
+    co_await t.store(elem(hi - 1), vi);
+    co_await t.amo(AmoKind::kFetchAdd, done_count_, 1);  // pivot placed
+
+    // Push the non-empty halves.
+    co_await queue_lock_->acquire(t);
+    Word new_top = co_await t.load(stack_top_);
+    if (i > lo) {
+      co_await t.store(stack_ + new_top * 16, lo);
+      co_await t.store(stack_ + new_top * 16 + 8, i);
+      ++new_top;
+    }
+    if (hi > i + 1) {
+      co_await t.store(stack_ + new_top * 16, i + 1);
+      co_await t.store(stack_ + new_top * 16 + 8, hi);
+      ++new_top;
+    }
+    GLOCKS_CHECK(new_top <= stack_cap_, "QSORT range stack overflow");
+    co_await t.store(stack_top_, new_top);
+    co_await queue_lock_->release(t);
+  }
+}
+
+void QSort::verify(WorkloadContext& ctx) {
+  GLOCKS_CHECK(ctx.peek(done_count_) == p_.num_elements,
+               "QSORT done count " << ctx.peek(done_count_));
+  Word sum = 0;
+  Word prev = 0;
+  for (std::uint32_t i = 0; i < p_.num_elements; ++i) {
+    const Word v = ctx.peek(elem(i));
+    GLOCKS_CHECK(v >= prev, "QSORT not sorted at index " << i);
+    prev = v;
+    sum += v;
+  }
+  GLOCKS_CHECK(sum == checksum_, "QSORT checksum mismatch — data corrupted");
+}
+
+}  // namespace glocks::workloads

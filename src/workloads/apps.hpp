@@ -1,0 +1,133 @@
+// Application kernels standing in for the paper's SPLASH-2 programs
+// (Section IV-B, Table III). The originals cannot run on this simulator's
+// micro-op thread model, so each kernel is built to reproduce the
+// published *lock signature* of its application — lock count,
+// highly-contended lock count, access pattern, and the rough Busy/Memory
+// vs synchronization balance of Figure 8 — which is the dimension GLocks
+// exercises. See DESIGN.md for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/workload.hpp"
+
+namespace glocks::workloads {
+
+/// Raytrace-like: Table III reports 34 locks of which 2 are
+/// highly-contended, both with SCTR-style access (global counters).
+/// The kernel distributes rays through a global ray-id dispenser
+/// (H-C lock 1), traces each ray with scene-array reads + compute, updates
+/// a global statistics counter per ray (H-C lock 2), and occasionally
+/// takes one of 32 per-region locks (the long low-contention tail).
+class RaytraceLike final : public harness::Workload {
+ public:
+  struct Params {
+    std::uint32_t num_rays = 512;
+    std::uint32_t scene_lines = 256;     ///< scene footprint (64B lines)
+    std::uint32_t loads_per_ray = 256;    ///< traversal memory accesses
+    std::uint32_t compute_per_ray = 6000;  ///< shading cycles
+    std::uint32_t region_locks = 32;
+    std::uint32_t region_update_every = 8;  ///< rays between region updates
+    std::uint32_t stats_every = 4;  ///< rays between stats-lock updates
+                                    ///< (makes L1 hotter than L2, as the
+                                    ///< paper's per-lock Figure 7 shows)
+  };
+
+  RaytraceLike();
+  explicit RaytraceLike(const Params& p) : p_(p) {}
+  std::string name() const override { return "RAYTR"; }
+  std::uint32_t num_locks() const override { return 2 + p_.region_locks; }
+  std::uint32_t num_hc_locks() const override { return 2; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  Params p_;
+  locks::Lock* ray_lock_ = nullptr;    ///< H-C: ray id dispenser
+  locks::Lock* stats_lock_ = nullptr;  ///< H-C: global statistics counter
+  std::vector<locks::Lock*> region_locks_;
+  Addr ray_counter_ = 0;
+  Addr stats_counter_ = 0;
+  Addr scene_ = 0;
+  Addr region_data_ = 0;  ///< one line per region
+};
+
+/// Ocean-like: Table III reports 3 locks, 1 highly-contended with
+/// SCTR-style access. The kernel iterates timesteps of a red/black
+/// stencil over a partitioned grid, ends each step with a global-residual
+/// reduction under the H-C lock, and uses two rarely-taken boundary locks.
+/// Barriers separate phases, and memory time dominates (Figure 8).
+class OceanLike final : public harness::Workload {
+ public:
+  struct Params {
+    std::uint32_t grid_dim = 128;    ///< grid is grid_dim x grid_dim words
+    std::uint32_t timesteps = 6;
+    std::uint32_t compute_per_cell = 10;  ///< per-cell stencil arithmetic
+    std::uint32_t boundary_every = 4;  ///< steps between boundary-lock use
+  };
+
+  OceanLike();
+  explicit OceanLike(const Params& p) : p_(p) {}
+  std::string name() const override { return "OCEAN"; }
+  std::uint32_t num_locks() const override { return 3; }
+  std::uint32_t num_hc_locks() const override { return 1; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  Addr cell(std::uint32_t r, std::uint32_t c) const {
+    return grid_ + (Addr{r} * p_.grid_dim + c) * sizeof(Word);
+  }
+
+  Params p_;
+  locks::Lock* residual_lock_ = nullptr;  ///< H-C: global reduction
+  locks::Lock* boundary_lock_[2] = {nullptr, nullptr};
+  sync::Barrier* barrier_ = nullptr;
+  Addr grid_ = 0;
+  Addr residual_ = 0;
+  Addr boundary_flux_ = 0;
+};
+
+/// Parallel quicksort over a shared work queue: Table III reports 1 lock,
+/// highly-contended, with PRCO-style access (the queue behaves like a
+/// producer/consumer FIFO of ranges). Workers pop a range, partition it,
+/// push the halves back, and insertion-sort small ranges in place.
+class QSort final : public harness::Workload {
+ public:
+  struct Params {
+    std::uint32_t num_elements = 16384;  ///< Table III input size
+    std::uint32_t small_threshold = 128;  ///< insertion-sort cutoff
+    /// Comparison/branch/index work per element visit; models the real
+    /// instruction stream an in-order core executes around each access.
+    std::uint32_t compute_per_elem = 3;
+  };
+
+  QSort();
+  explicit QSort(const Params& p) : p_(p) {}
+  std::string name() const override { return "QSORT"; }
+  std::uint32_t num_locks() const override { return 1; }
+  std::uint32_t num_hc_locks() const override { return 1; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  Addr elem(Word i) const { return data_ + i * sizeof(Word); }
+
+  Params p_;
+  locks::Lock* queue_lock_ = nullptr;
+  Addr data_ = 0;
+  Addr stack_top_ = 0;    ///< word: number of ranges on the stack
+  Addr stack_ = 0;        ///< ranges: pairs of words (lo, hi)
+  Word stack_cap_ = 0;    ///< stack capacity in ranges
+  Addr done_count_ = 0;   ///< elements in final position (fetch&add)
+  Word checksum_ = 0;     ///< sum of the input values (for verify)
+};
+
+}  // namespace glocks::workloads

@@ -1,0 +1,301 @@
+#include "workloads/micro.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glocks::workloads {
+
+using core::Task;
+using core::ThreadApi;
+using harness::WorkloadContext;
+
+std::uint64_t split_iterations(std::uint64_t total, std::uint32_t tid,
+                               std::uint32_t n) {
+  // First (total % n) threads run one extra iteration.
+  return total / n + (tid < total % n ? 1 : 0);
+}
+
+// ------------------------------------------------------------------ SCTR
+
+void SingleCounter::setup(WorkloadContext& ctx) {
+  counter_ = ctx.heap().alloc_line();
+  lock_ = &ctx.make_lock("SCTR-L0", /*highly_contended=*/true);
+}
+
+Task<void> SingleCounter::thread_body(ThreadApi& t, WorkloadContext& ctx) {
+  const std::uint64_t iters =
+      split_iterations(p_.total_iterations, t.thread_id(),
+                       ctx.num_threads());
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    co_await lock_->acquire(t);
+    const Word v = co_await t.load(counter_);
+    co_await t.store(counter_, v + 1);
+    co_await lock_->release(t);
+    if (p_.think_cycles > 0) co_await t.compute(p_.think_cycles);
+  }
+}
+
+void SingleCounter::verify(WorkloadContext& ctx) {
+  const Word v = ctx.peek(counter_);
+  GLOCKS_CHECK(v == p_.total_iterations,
+               "SCTR counter " << v << " != " << p_.total_iterations
+                               << " — mutual exclusion violated");
+}
+
+// ------------------------------------------------------------------ MCTR
+
+void MultipleCounter::setup(WorkloadContext& ctx) {
+  counters_ = ctx.heap().alloc_lines(ctx.num_threads());
+  lock_ = &ctx.make_lock("MCTR-L0", /*highly_contended=*/true);
+}
+
+Task<void> MultipleCounter::thread_body(ThreadApi& t, WorkloadContext& ctx) {
+  const std::uint64_t iters =
+      split_iterations(p_.total_iterations, t.thread_id(),
+                       ctx.num_threads());
+  const Addr mine = counters_ + Addr{t.thread_id()} * kLineBytes;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    co_await lock_->acquire(t);
+    const Word v = co_await t.load(mine);
+    co_await t.store(mine, v + 1);
+    co_await lock_->release(t);
+    if (p_.think_cycles > 0) co_await t.compute(p_.think_cycles);
+  }
+}
+
+void MultipleCounter::verify(WorkloadContext& ctx) {
+  Word sum = 0;
+  for (std::uint32_t i = 0; i < ctx.num_threads(); ++i) {
+    sum += ctx.peek(counters_ + Addr{i} * kLineBytes);
+  }
+  GLOCKS_CHECK(sum == p_.total_iterations,
+               "MCTR sum " << sum << " != " << p_.total_iterations);
+}
+
+// ------------------------------------------------------------------ DBLL
+
+void DoublyLinkedList::setup(WorkloadContext& ctx) {
+  header_ = ctx.heap().alloc_line();
+  nodes_ = ctx.heap().alloc_lines(num_nodes_);
+  auto& mem = ctx.memory();
+  // Pre-build the list: node i linked to i-1 / i+1.
+  for (std::uint32_t i = 0; i < num_nodes_; ++i) {
+    const Addr n = nodes_ + Addr{i} * kLineBytes;
+    mem.poke(n + kPrev, i == 0 ? 0 : n - kLineBytes);
+    mem.poke(n + kNext, i + 1 == num_nodes_ ? 0 : n + kLineBytes);
+    mem.poke(n + kValue, i + 1);
+  }
+  mem.poke(header_ + 0, nodes_);                                   // head
+  mem.poke(header_ + 8, nodes_ + Addr{num_nodes_ - 1} * kLineBytes);  // tail
+  lock_ = &ctx.make_lock("DBLL-L0", /*highly_contended=*/true);
+}
+
+Task<void> DoublyLinkedList::thread_body(ThreadApi& t,
+                                         WorkloadContext& ctx) {
+  const std::uint64_t iters =
+      split_iterations(p_.total_iterations, t.thread_id(),
+                       ctx.num_threads());
+  const Addr head_p = header_ + 0;
+  const Addr tail_p = header_ + 8;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    // Dequeue from the head...
+    Word node = 0;
+    while (node == 0) {
+      co_await lock_->acquire(t);
+      node = co_await t.load(head_p);
+      if (node != 0) {
+        const Word next = co_await t.load(node + kNext);
+        co_await t.store(head_p, next);
+        if (next != 0) {
+          co_await t.store(next + kPrev, 0);
+        } else {
+          co_await t.store(tail_p, 0);
+        }
+      }
+      co_await lock_->release(t);
+    }
+    // ...and enqueue it at the tail.
+    co_await lock_->acquire(t);
+    const Word tail = co_await t.load(tail_p);
+    co_await t.store(node + kPrev, tail);
+    co_await t.store(node + kNext, 0);
+    if (tail != 0) {
+      co_await t.store(tail + kNext, node);
+    } else {
+      co_await t.store(head_p, node);
+    }
+    co_await t.store(tail_p, node);
+    co_await lock_->release(t);
+    if (p_.think_cycles > 0) co_await t.compute(p_.think_cycles);
+  }
+}
+
+void DoublyLinkedList::verify(WorkloadContext& ctx) {
+  // The list must again contain exactly num_nodes_ distinct nodes, with
+  // consistent prev links.
+  Word node = ctx.peek(header_ + 0);
+  Word prev = 0;
+  std::uint32_t count = 0;
+  Word value_sum = 0;
+  while (node != 0) {
+    GLOCKS_CHECK(ctx.peek(node + kPrev) == prev,
+                 "DBLL prev link broken at node " << node);
+    value_sum += ctx.peek(node + kValue);
+    prev = node;
+    node = ctx.peek(node + kNext);
+    GLOCKS_CHECK(++count <= num_nodes_, "DBLL cycle detected");
+  }
+  GLOCKS_CHECK(ctx.peek(header_ + 8) == prev, "DBLL tail pointer wrong");
+  GLOCKS_CHECK(count == num_nodes_,
+               "DBLL lost nodes: " << count << " of " << num_nodes_);
+  const Word expect = Word{num_nodes_} * (num_nodes_ + 1) / 2;
+  GLOCKS_CHECK(value_sum == expect, "DBLL node values corrupted");
+}
+
+// ------------------------------------------------------------------ PRCO
+
+void ProducerConsumer::setup(WorkloadContext& ctx) {
+  header_ = ctx.heap().alloc_line();
+  buffer_ = ctx.heap().alloc(capacity_ * sizeof(Word), kLineBytes);
+  checksum_ = ctx.heap().alloc_lines(ctx.num_threads());
+  num_producers_ = ctx.num_threads() / 2;
+  GLOCKS_CHECK(num_producers_ >= 1, "PRCO needs at least two threads");
+  items_per_producer_ =
+      std::max<std::uint64_t>(1, p_.total_iterations / ctx.num_threads());
+  lock_ = &ctx.make_lock("PRCO-L0", /*highly_contended=*/true);
+}
+
+Task<void> ProducerConsumer::thread_body(ThreadApi& t,
+                                         WorkloadContext& ctx) {
+  const std::uint32_t tid = t.thread_id();
+  const std::uint32_t num_consumers = ctx.num_threads() - num_producers_;
+  const Addr head_p = header_ + 0;
+  const Addr tail_p = header_ + 8;
+  const Addr count_p = header_ + 16;
+  const std::uint64_t total_items = items_per_producer_ * num_producers_;
+
+  // Failed full/empty checks back off exponentially (with per-thread
+  // jitter). This matters under TATAS: spin locks have a proximity bias
+  // (the requester nearest the line's home tends to win the post-release
+  // race), so without backoff a busy near side can starve the far side
+  // of this queue indefinitely.
+  std::uint64_t attempt = 0;
+  if (tid < num_producers_) {
+    for (std::uint64_t i = 0; i < items_per_producer_; ++i) {
+      const Word item = Word{tid} * 1000000 + i + 1;
+      attempt = 0;
+      while (true) {
+        co_await lock_->acquire(t);
+        const Word count = co_await t.load(count_p);
+        if (count < capacity_) {
+          const Word tail = co_await t.load(tail_p);
+          co_await t.store(buffer_ + (tail % capacity_) * sizeof(Word),
+                           item);
+          co_await t.store(tail_p, tail + 1);
+          co_await t.store(count_p, count + 1);
+          co_await lock_->release(t);
+          break;
+        }
+        co_await lock_->release(t);
+        // FIFO full: back off before retrying.
+        ++attempt;
+        co_await t.compute((std::uint64_t{64} << std::min<std::uint64_t>(
+                                attempt, 9)) +
+                           (tid * 13 + attempt * 7) % 97);
+      }
+      if (p_.think_cycles > 0) co_await t.compute(p_.think_cycles);
+    }
+  } else {
+    // Consumers split the produced items; the first few take the excess.
+    const std::uint32_t cid = tid - num_producers_;
+    const std::uint64_t my_items =
+        split_iterations(total_items, cid, num_consumers);
+    Word sum = 0;
+    for (std::uint64_t i = 0; i < my_items; ++i) {
+      attempt = 0;
+      while (true) {
+        co_await lock_->acquire(t);
+        const Word count = co_await t.load(count_p);
+        if (count > 0) {
+          const Word head = co_await t.load(head_p);
+          sum += co_await t.load(buffer_ +
+                                 (head % capacity_) * sizeof(Word));
+          co_await t.store(head_p, head + 1);
+          co_await t.store(count_p, count - 1);
+          co_await lock_->release(t);
+          break;
+        }
+        co_await lock_->release(t);
+        // FIFO empty: back off before retrying.
+        ++attempt;
+        co_await t.compute((std::uint64_t{64} << std::min<std::uint64_t>(
+                                attempt, 9)) +
+                           (tid * 13 + attempt * 7) % 97);
+      }
+      if (p_.think_cycles > 0) co_await t.compute(p_.think_cycles);
+    }
+    co_await t.store(checksum_ + Addr{tid} * kLineBytes, sum);
+  }
+}
+
+void ProducerConsumer::verify(WorkloadContext& ctx) {
+  Word consumed = 0;
+  for (std::uint32_t i = 0; i < ctx.num_threads(); ++i) {
+    consumed += ctx.peek(checksum_ + Addr{i} * kLineBytes);
+  }
+  Word produced = 0;
+  for (std::uint32_t p = 0; p < num_producers_; ++p) {
+    for (std::uint64_t i = 0; i < items_per_producer_; ++i) {
+      produced += Word{p} * 1000000 + i + 1;
+    }
+  }
+  GLOCKS_CHECK(consumed == produced,
+               "PRCO checksum mismatch: consumed " << consumed
+                                                   << " produced "
+                                                   << produced);
+}
+
+// ------------------------------------------------------------------ ACTR
+
+void AffinityCounter::setup(WorkloadContext& ctx) {
+  counter1_ = ctx.heap().alloc_line();
+  counter2_ = ctx.heap().alloc_line();
+  lock1_ = &ctx.make_lock("ACTR-L0", /*highly_contended=*/true);
+  lock2_ = &ctx.make_lock("ACTR-L1", /*highly_contended=*/true);
+  barrier_ = &ctx.make_barrier(p_.barrier);
+}
+
+Task<void> AffinityCounter::thread_body(ThreadApi& t,
+                                        WorkloadContext& ctx) {
+  // Every thread runs the same number of rounds: the barrier requires
+  // full participation each iteration.
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, p_.total_iterations / ctx.num_threads());
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    co_await lock1_->acquire(t);
+    const Word v1 = co_await t.load(counter1_);
+    co_await t.store(counter1_, v1 + 1);
+    co_await lock1_->release(t);
+
+    co_await barrier_->await(t);
+
+    co_await lock2_->acquire(t);
+    const Word v2 = co_await t.load(counter2_);
+    co_await t.store(counter2_, v2 + 1);
+    co_await lock2_->release(t);
+    if (p_.think_cycles > 0) co_await t.compute(p_.think_cycles);
+  }
+}
+
+void AffinityCounter::verify(WorkloadContext& ctx) {
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, p_.total_iterations / ctx.num_threads());
+  const Word expect = rounds * ctx.num_threads();
+  const Word v1 = ctx.peek(counter1_);
+  const Word v2 = ctx.peek(counter2_);
+  GLOCKS_CHECK(v1 == expect, "ACTR counter1 " << v1 << " != " << expect);
+  GLOCKS_CHECK(v2 == expect, "ACTR counter2 " << v2 << " != " << expect);
+}
+
+}  // namespace glocks::workloads

@@ -1,0 +1,136 @@
+// The five microbenchmarks of paper Section IV-B (Table III).
+//
+// Each exhibits a distinct highly-contended access pattern:
+//   SCTR  one counter, one lock, all threads increment it
+//   MCTR  per-thread counters (distinct lines), one lock
+//   DBLL  doubly-linked list: dequeue head / enqueue tail, one lock
+//   PRCO  bounded FIFO, half producers half consumers, one lock
+//   ACTR  two counters, two locks, a barrier between the phases
+//
+// "Iterations" is the total number of critical-section executions per
+// lock across all threads, split evenly (Table III's input size of 1000 is
+// the default; benches pass larger values for tighter statistics).
+#pragma once
+
+#include <cstdint>
+
+#include "harness/workload.hpp"
+
+namespace glocks::workloads {
+
+struct MicroParams {
+  std::uint64_t total_iterations = 1000;
+  /// Non-critical compute cycles between iterations (0 = hammer).
+  std::uint64_t think_cycles = 0;
+  /// Barrier implementation for benchmarks that use one (ACTR). The
+  /// paper's simulator library uses the software tree barrier.
+  sync::BarrierKind barrier = sync::BarrierKind::kTree;
+};
+
+class SingleCounter final : public harness::Workload {
+ public:
+  explicit SingleCounter(MicroParams p = {}) : p_(p) {}
+  std::string name() const override { return "SCTR"; }
+  std::uint32_t num_locks() const override { return 1; }
+  std::uint32_t num_hc_locks() const override { return 1; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  MicroParams p_;
+  locks::Lock* lock_ = nullptr;
+  Addr counter_ = 0;
+};
+
+class MultipleCounter final : public harness::Workload {
+ public:
+  explicit MultipleCounter(MicroParams p = {}) : p_(p) {}
+  std::string name() const override { return "MCTR"; }
+  std::uint32_t num_locks() const override { return 1; }
+  std::uint32_t num_hc_locks() const override { return 1; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  MicroParams p_;
+  locks::Lock* lock_ = nullptr;
+  Addr counters_ = 0;  ///< one line per thread
+};
+
+class DoublyLinkedList final : public harness::Workload {
+ public:
+  explicit DoublyLinkedList(MicroParams p = {}, std::uint32_t nodes = 64)
+      : p_(p), num_nodes_(nodes) {}
+  std::string name() const override { return "DBLL"; }
+  std::uint32_t num_locks() const override { return 1; }
+  std::uint32_t num_hc_locks() const override { return 1; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  // Node layout (one line each): word 0 = prev, word 1 = next, 2 = value.
+  static constexpr std::uint64_t kPrev = 0;
+  static constexpr std::uint64_t kNext = 8;
+  static constexpr std::uint64_t kValue = 16;
+
+  MicroParams p_;
+  std::uint32_t num_nodes_;
+  locks::Lock* lock_ = nullptr;
+  Addr header_ = 0;  ///< word 0 = head, word 1 = tail
+  Addr nodes_ = 0;
+};
+
+class ProducerConsumer final : public harness::Workload {
+ public:
+  explicit ProducerConsumer(MicroParams p = {}, std::uint32_t capacity = 16)
+      : p_(p), capacity_(capacity) {}
+  std::string name() const override { return "PRCO"; }
+  std::uint32_t num_locks() const override { return 1; }
+  std::uint32_t num_hc_locks() const override { return 1; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  MicroParams p_;
+  std::uint32_t capacity_;
+  locks::Lock* lock_ = nullptr;
+  Addr header_ = 0;   ///< word 0 = head idx, 1 = tail idx, 2 = count
+  Addr buffer_ = 0;   ///< capacity words
+  Addr checksum_ = 0; ///< one line per consumer thread-slot
+  std::uint64_t items_per_producer_ = 0;
+  std::uint32_t num_producers_ = 0;
+};
+
+class AffinityCounter final : public harness::Workload {
+ public:
+  explicit AffinityCounter(MicroParams p = {}) : p_(p) {}
+  std::string name() const override { return "ACTR"; }
+  std::uint32_t num_locks() const override { return 2; }
+  std::uint32_t num_hc_locks() const override { return 2; }
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  MicroParams p_;
+  locks::Lock* lock1_ = nullptr;
+  locks::Lock* lock2_ = nullptr;
+  sync::Barrier* barrier_ = nullptr;
+  Addr counter1_ = 0;
+  Addr counter2_ = 0;
+};
+
+/// Iterations thread `tid` of `n` runs so the total is exactly `total`.
+std::uint64_t split_iterations(std::uint64_t total, std::uint32_t tid,
+                               std::uint32_t n);
+
+}  // namespace glocks::workloads

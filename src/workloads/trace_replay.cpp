@@ -1,0 +1,174 @@
+#include "workloads/trace_replay.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace glocks::workloads {
+
+using core::Task;
+using core::ThreadApi;
+using harness::WorkloadContext;
+
+std::uint64_t LockTrace::total_episodes() const {
+  std::uint64_t n = 0;
+  for (const auto& t : per_thread) n += t.size();
+  return n;
+}
+
+LockTrace parse_lock_trace(std::istream& in) {
+  LockTrace trace;
+  std::string line;
+  int line_no = 0;
+  bool saw_locks = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;  // blank
+    if (tag == "locks") {
+      GLOCKS_CHECK(ls >> trace.num_locks,
+                   "trace line " << line_no << ": locks needs a count");
+      trace.highly_contended.assign(trace.num_locks, false);
+      saw_locks = true;
+    } else if (tag == "hc") {
+      GLOCKS_CHECK(saw_locks, "trace line " << line_no
+                                            << ": hc before locks");
+      std::uint32_t id = 0;
+      while (ls >> id) {
+        GLOCKS_CHECK(id < trace.num_locks,
+                     "trace line " << line_no << ": hc id out of range");
+        trace.highly_contended[id] = true;
+      }
+    } else if (tag == "ep") {
+      GLOCKS_CHECK(saw_locks, "trace line " << line_no
+                                            << ": ep before locks");
+      std::uint32_t tid = 0;
+      TraceEpisode ep;
+      GLOCKS_CHECK(
+          ls >> tid >> ep.lock >> ep.cs_compute >> ep.cs_mem_ops >>
+              ep.think,
+          "trace line " << line_no
+                        << ": ep needs tid lock cs_compute cs_mem_ops "
+                           "think");
+      GLOCKS_CHECK(ep.lock < trace.num_locks,
+                   "trace line " << line_no << ": lock id out of range");
+      if (tid >= trace.per_thread.size()) {
+        trace.per_thread.resize(tid + 1);
+      }
+      trace.per_thread[tid].push_back(ep);
+    } else {
+      GLOCKS_UNREACHABLE("trace line " << line_no << ": unknown tag '"
+                                       << tag << "'");
+    }
+  }
+  GLOCKS_CHECK(saw_locks, "trace has no 'locks' header");
+  return trace;
+}
+
+void write_lock_trace(const LockTrace& trace, std::ostream& out) {
+  out << "locks " << trace.num_locks << "\n";
+  bool any_hc = false;
+  for (std::uint32_t i = 0; i < trace.num_locks; ++i) {
+    if (trace.highly_contended[i]) {
+      out << (any_hc ? " " : "hc ") << i;
+      any_hc = true;
+    }
+  }
+  if (any_hc) out << "\n";
+  for (std::uint32_t tid = 0; tid < trace.per_thread.size(); ++tid) {
+    for (const auto& ep : trace.per_thread[tid]) {
+      out << "ep " << tid << " " << ep.lock << " " << ep.cs_compute << " "
+          << ep.cs_mem_ops << " " << ep.think << "\n";
+    }
+  }
+}
+
+LockTrace generate_lock_trace(Rng& rng, std::uint32_t threads,
+                              std::uint32_t num_locks,
+                              std::uint32_t episodes_per_thread,
+                              double hot_fraction) {
+  GLOCKS_CHECK(num_locks >= 1 && threads >= 1, "degenerate trace shape");
+  LockTrace trace;
+  trace.num_locks = num_locks;
+  trace.highly_contended.assign(num_locks, false);
+  trace.highly_contended[0] = true;
+  trace.per_thread.resize(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    for (std::uint32_t e = 0; e < episodes_per_thread; ++e) {
+      TraceEpisode ep;
+      ep.lock = rng.uniform() < hot_fraction
+                    ? 0
+                    : 1 + static_cast<std::uint32_t>(
+                              rng.below(std::max(1u, num_locks - 1)));
+      if (num_locks == 1) ep.lock = 0;
+      ep.cs_compute = 5 + static_cast<std::uint32_t>(rng.below(20));
+      ep.cs_mem_ops = 1 + static_cast<std::uint32_t>(rng.below(4));
+      ep.think = static_cast<std::uint32_t>(rng.below(100));
+      trace.per_thread[t].push_back(ep);
+    }
+  }
+  return trace;
+}
+
+TraceReplay::TraceReplay(LockTrace trace) : trace_(std::move(trace)) {}
+
+std::uint32_t TraceReplay::num_hc_locks() const {
+  return static_cast<std::uint32_t>(
+      std::count(trace_.highly_contended.begin(),
+                 trace_.highly_contended.end(), true));
+}
+
+void TraceReplay::setup(WorkloadContext& ctx) {
+  GLOCKS_CHECK(trace_.num_threads() <= ctx.num_threads(),
+               "trace has " << trace_.num_threads()
+                            << " threads but the machine has only "
+                            << ctx.num_threads() << " cores");
+  data_ = ctx.heap().alloc_lines(trace_.num_locks);
+  locks_.clear();
+  for (std::uint32_t l = 0; l < trace_.num_locks; ++l) {
+    locks_.push_back(&ctx.make_lock("TRACE-L" + std::to_string(l),
+                                    trace_.highly_contended[l]));
+  }
+}
+
+Task<void> TraceReplay::thread_body(ThreadApi& t, WorkloadContext&) {
+  const std::uint32_t tid = t.thread_id();
+  if (tid >= trace_.num_threads()) co_return;  // idle core
+  for (const TraceEpisode& ep : trace_.per_thread[tid]) {
+    locks::Lock& lock = *locks_[ep.lock];
+    const Addr line = data_ + Addr{ep.lock} * kLineBytes;
+    co_await lock.acquire(t);
+    // First word counts episodes (the verify oracle); remaining mem ops
+    // walk the lock's data line.
+    const Word v = co_await t.load(line);
+    co_await t.store(line, v + 1);
+    for (std::uint32_t m = 1; m < ep.cs_mem_ops; ++m) {
+      co_await t.load(line + (m % kWordsPerLine) * sizeof(Word));
+    }
+    co_await t.compute(ep.cs_compute);
+    co_await lock.release(t);
+    if (ep.think > 0) co_await t.compute(ep.think);
+  }
+}
+
+void TraceReplay::verify(WorkloadContext& ctx) {
+  std::vector<std::uint64_t> expected(trace_.num_locks, 0);
+  for (const auto& thread : trace_.per_thread) {
+    for (const auto& ep : thread) ++expected[ep.lock];
+  }
+  for (std::uint32_t l = 0; l < trace_.num_locks; ++l) {
+    const Word v = ctx.peek(data_ + Addr{l} * kLineBytes);
+    GLOCKS_CHECK(v == expected[l],
+                 "TRACE lock " << l << " counted " << v << " episodes, "
+                               << "expected " << expected[l]);
+  }
+}
+
+}  // namespace glocks::workloads

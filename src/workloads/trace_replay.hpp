@@ -1,0 +1,83 @@
+// Trace-driven workload: replays a lock-access trace.
+//
+// Downstream users rarely want to port their application to the micro-op
+// API; what they have is a profile: which threads took which locks, how
+// long the critical sections were, how much think time separated them.
+// This workload replays exactly that, so any lock-usage pattern can be
+// evaluated under every lock implementation in the repository.
+//
+// Trace text format (# starts a comment):
+//
+//   locks <N>                  number of locks, ids 0..N-1
+//   hc <id> [<id> ...]         which locks are highly contended
+//   ep <tid> <lock> <cs_compute> <cs_mem_ops> <think>
+//
+// Each `ep` line appends one critical-section episode to thread `tid`:
+// acquire lock, do `cs_mem_ops` loads/stores on the lock's shared data
+// plus `cs_compute` cycles of work, release, then `think` cycles outside.
+// Episodes of one thread replay in order; threads interleave naturally.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/workload.hpp"
+
+namespace glocks::workloads {
+
+struct TraceEpisode {
+  std::uint32_t lock = 0;
+  std::uint32_t cs_compute = 0;
+  std::uint32_t cs_mem_ops = 1;
+  std::uint32_t think = 0;
+};
+
+struct LockTrace {
+  std::uint32_t num_locks = 0;
+  std::vector<bool> highly_contended;           ///< per lock id
+  std::vector<std::vector<TraceEpisode>> per_thread;
+
+  std::uint64_t total_episodes() const;
+  std::uint32_t num_threads() const {
+    return static_cast<std::uint32_t>(per_thread.size());
+  }
+};
+
+/// Parses the text format; throws SimError with a line number on errors.
+LockTrace parse_lock_trace(std::istream& in);
+
+/// Serializes back to the text format (round-trips with parse).
+void write_lock_trace(const LockTrace& trace, std::ostream& out);
+
+/// Synthesizes a trace: `threads` threads x `episodes_per_thread`
+/// episodes over `num_locks` locks, where lock 0 receives `hot_fraction`
+/// of all accesses (and is marked highly contended).
+LockTrace generate_lock_trace(Rng& rng, std::uint32_t threads,
+                              std::uint32_t num_locks,
+                              std::uint32_t episodes_per_thread,
+                              double hot_fraction = 0.7);
+
+/// The replaying workload. Threads beyond the trace's thread count idle;
+/// a trace with more threads than cores throws at setup.
+class TraceReplay final : public harness::Workload {
+ public:
+  explicit TraceReplay(LockTrace trace);
+
+  std::string name() const override { return "TRACE"; }
+  std::uint32_t num_locks() const override { return trace_.num_locks; }
+  std::uint32_t num_hc_locks() const override;
+  void setup(harness::WorkloadContext& ctx) override;
+  core::Task<void> thread_body(core::ThreadApi& t,
+                               harness::WorkloadContext& ctx) override;
+  void verify(harness::WorkloadContext& ctx) override;
+
+ private:
+  LockTrace trace_;
+  std::vector<locks::Lock*> locks_;
+  Addr data_ = 0;  ///< one shared line per lock, counting episodes
+};
+
+}  // namespace glocks::workloads

@@ -1,0 +1,174 @@
+// Tests of the coroutine task machinery and the core's timing model.
+//
+// Note: thread bodies are free/static coroutine functions, never capturing
+// coroutine lambdas (CP.51) — the binding lambda only *calls* them.
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "mem_test_util.hpp"
+
+namespace glocks {
+namespace {
+
+using core::Category;
+using core::Task;
+using core::ThreadApi;
+
+Task<void> compute_n(ThreadApi& t, std::uint64_t n) {
+  co_await t.compute(n);
+}
+
+Task<void> two_zero_computes(ThreadApi& t) {
+  co_await t.compute(0);
+  co_await t.compute(0);
+}
+
+Task<Word> triple_load(ThreadApi& t, Addr a) {
+  Word sum = 0;
+  for (int i = 0; i < 3; ++i) sum += co_await t.load(a);
+  co_return sum;
+}
+
+Task<void> store_then_triple_load(ThreadApi& t, Word* out) {
+  co_await t.store(0x10000, 5);
+  *out = co_await triple_load(t, 0x10000);
+}
+
+Task<void> boom(ThreadApi& t) {
+  co_await t.compute(1);
+  GLOCKS_CHECK(false, "intentional");
+}
+
+Task<void> call_boom(ThreadApi& t) { co_await boom(t); }
+
+Task<void> mixed_uops(ThreadApi& t) {
+  co_await t.compute(4);                                // 4 uops
+  co_await t.store(0x10000, 1);                         // 1
+  co_await t.load(0x10000);                             // 1
+  co_await t.amo(mem::AmoKind::kFetchAdd, 0x10000, 1);  // 1
+}
+
+Task<void> categorized(ThreadApi& t) {
+  co_await t.compute(10);  // Busy
+  {
+    core::CategoryScope lock_scope(t, Category::kLock);
+    co_await t.compute(20);    // Lock
+    co_await t.load(0x20000);  // Lock (memory inside a lock scope)
+  }
+  co_await t.load(0x30000);  // Memory (cold miss, hundreds of cycles)
+}
+
+Task<void> nested_scopes(ThreadApi& t) {
+  core::CategoryScope barrier_scope(t, Category::kBarrier);
+  {
+    // A lock acquired inside a barrier still charges the barrier.
+    core::CategoryScope lock_scope(t, Category::kLock);
+    EXPECT_EQ(t.category(), Category::kBarrier);
+    co_await t.compute(5);
+  }
+  EXPECT_EQ(t.category(), Category::kBarrier);
+  co_await t.compute(1);
+}
+
+Task<void> acquire_glock(ThreadApi& t, GlockId g) {
+  co_await t.gl_acquire(g);
+}
+
+/// Harness with one Core attached to core 0's L1.
+class CoreFixture : public ::testing::Test {
+ protected:
+  CoreFixture() : mem_(), core_(0, /*num_glocks=*/2) {
+    mem_.engine().add(core_);
+  }
+
+  void bind(const std::function<Task<void>(ThreadApi&)>& body) {
+    core_.bind(0, 1, mem_.hier().l1(0), body);
+  }
+
+  Cycle run_to_completion() {
+    const Cycle start = mem_.engine().now();
+    mem_.engine().run_until([&] { return core_.finished(); }, 1000000);
+    return mem_.engine().now() - start;
+  }
+
+  test::MemHarness mem_;
+  core::Core core_;
+};
+
+TEST_F(CoreFixture, ComputeTakesExactCycles) {
+  bind([](ThreadApi& t) { return compute_n(t, 10); });
+  // 1 start tick + 10 countdown ticks (the body resumes and finishes
+  // within the final countdown tick).
+  EXPECT_EQ(run_to_completion(), 11u);
+}
+
+TEST_F(CoreFixture, ComputeZeroDoesNotSuspend) {
+  bind([](ThreadApi& t) { return two_zero_computes(t); });
+  EXPECT_LE(run_to_completion(), 2u);
+}
+
+TEST_F(CoreFixture, NestedTasksComposeAndReturnValues) {
+  Word result = 0;
+  bind([&result](ThreadApi& t) {
+    return store_then_triple_load(t, &result);
+  });
+  run_to_completion();
+  EXPECT_EQ(result, 15u);
+}
+
+TEST_F(CoreFixture, ExceptionsPropagateThroughNestedTasks) {
+  bind([](ThreadApi& t) { return call_boom(t); });
+  EXPECT_THROW(run_to_completion(), SimError);
+}
+
+TEST_F(CoreFixture, UopAccounting) {
+  bind([](ThreadApi& t) { return mixed_uops(t); });
+  run_to_completion();
+  EXPECT_EQ(core_.context().uops, 7u);
+}
+
+TEST_F(CoreFixture, CategoryAttribution) {
+  bind([](ThreadApi& t) { return categorized(t); });
+  run_to_completion();
+  const auto& cy = core_.context().cycles;
+  EXPECT_GE(cy[static_cast<int>(Category::kBusy)], 10u);
+  // The lock scope covers its compute and its memory wait (a cold miss).
+  EXPECT_GE(cy[static_cast<int>(Category::kLock)], 20u + 400u);
+  EXPECT_GE(cy[static_cast<int>(Category::kMemory)], 400u);
+  EXPECT_EQ(cy[static_cast<int>(Category::kBarrier)], 0u);
+}
+
+TEST_F(CoreFixture, NestedCategoryScopesKeepOutermost) {
+  bind([](ThreadApi& t) { return nested_scopes(t); });
+  run_to_completion();
+  EXPECT_GE(core_.context().cycles[static_cast<int>(Category::kBarrier)],
+            6u);
+  EXPECT_EQ(core_.context().cycles[static_cast<int>(Category::kLock)], 0u);
+}
+
+TEST_F(CoreFixture, FinishCycleRecorded) {
+  bind([](ThreadApi& t) { return compute_n(t, 5); });
+  run_to_completion();
+  EXPECT_TRUE(core_.finished());
+  EXPECT_GT(core_.context().finish_cycle, 0u);
+}
+
+TEST_F(CoreFixture, GlineRegisterOpsBlockUntilCleared) {
+  bind([](ThreadApi& t) { return acquire_glock(t, 0); });
+  // No G-line hardware attached: the register stays set; the thread spins.
+  mem_.engine().run_until([&] { return mem_.engine().now() >= 50; },
+                          100000);
+  EXPECT_FALSE(core_.finished());
+  EXPECT_GT(core_.context().gline_spin_cycles, 10u);
+  // Clear it by hand (playing the local controller's role).
+  core_.lock_registers().req[0] = false;
+  mem_.engine().run_until([&] { return core_.finished(); }, 100000);
+}
+
+TEST_F(CoreFixture, GlineIdOutOfRangeThrows) {
+  bind([](ThreadApi& t) { return acquire_glock(t, 7); });
+  EXPECT_THROW(run_to_completion(), SimError);
+}
+
+}  // namespace
+}  // namespace glocks

@@ -1,0 +1,156 @@
+// Harness tests: determinism, metric plumbing, policy application,
+// census collection, and the machine assembly.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/registry.hpp"
+
+namespace glocks {
+namespace {
+
+harness::RunConfig small_cfg(locks::LockKind hc, std::uint32_t cores = 9) {
+  harness::RunConfig cfg;
+  cfg.cmp.num_cores = cores;
+  cfg.policy.highly_contended = hc;
+  return cfg;
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  for (const auto kind : {locks::LockKind::kMcs, locks::LockKind::kGlock}) {
+    workloads::MicroParams p;
+    p.total_iterations = 120;
+    workloads::SingleCounter a(p), b(p);
+    const auto r1 = harness::run_workload(a, small_cfg(kind));
+    const auto r2 = harness::run_workload(b, small_cfg(kind));
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.traffic.total_bytes(), r2.traffic.total_bytes());
+    EXPECT_EQ(r1.uops, r2.uops);
+    EXPECT_EQ(r1.category_cycles, r2.category_cycles);
+  }
+}
+
+TEST(Runner, CategoryFractionsSumToOne) {
+  workloads::MicroParams p;
+  p.total_iterations = 90;
+  workloads::AffinityCounter wl(p);
+  const auto r = harness::run_workload(wl, small_cfg(locks::LockKind::kMcs));
+  const double sum = r.busy_fraction() + r.memory_fraction() +
+                     r.lock_fraction() + r.barrier_fraction();
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(r.barrier_fraction(), 0.0);
+}
+
+TEST(Runner, GlockPolicyUsesNoMeshTrafficForLockOps) {
+  // MCTR's only shared line is the lock itself, so under GLocks the
+  // mesh traffic collapses to the (per-thread) counter misses.
+  workloads::MicroParams p;
+  p.total_iterations = 90;
+  workloads::MultipleCounter mcs_wl(p), gl_wl(p);
+  const auto mcs =
+      harness::run_workload(mcs_wl, small_cfg(locks::LockKind::kMcs));
+  const auto gl =
+      harness::run_workload(gl_wl, small_cfg(locks::LockKind::kGlock));
+  EXPECT_LT(gl.traffic.total_bytes(), mcs.traffic.total_bytes() / 4);
+  EXPECT_GT(gl.gline.signals, 0u);
+  EXPECT_EQ(mcs.gline.signals, 0u);
+}
+
+TEST(Runner, PolicyOverridesWinOverDefaults) {
+  workloads::MicroParams p;
+  p.total_iterations = 45;
+  workloads::SingleCounter wl(p);
+  auto cfg = small_cfg(locks::LockKind::kMcs);
+  cfg.policy.overrides["SCTR-L0"] = locks::LockKind::kIdeal;
+  const auto r = harness::run_workload(wl, cfg);
+  // Ideal locks bypass the machine: no AMOs at all are issued.
+  EXPECT_EQ(r.l1.amos, 0u);
+}
+
+TEST(Runner, CensusSeesContention) {
+  workloads::MicroParams p;
+  p.total_iterations = 180;
+  workloads::SingleCounter wl(p);
+  const auto r =
+      harness::run_workload(wl, small_cfg(locks::LockKind::kTatas));
+  ASSERT_EQ(r.lock_census.size(), 1u);
+  const auto& census = r.lock_census[0].census;
+  // With 9 hammering threads, most lock-activity cycles see >= 5
+  // concurrent requesters.
+  EXPECT_GT(census.fraction(5, 9), 0.5);
+  EXPECT_EQ(r.lock_census[0].acquires, 180u);
+}
+
+TEST(Runner, SeedChangesNothingForDeterministicWorkloads) {
+  workloads::MicroParams p;
+  p.total_iterations = 45;
+  workloads::SingleCounter a(p), b(p);
+  auto c1 = small_cfg(locks::LockKind::kMcs);
+  auto c2 = small_cfg(locks::LockKind::kMcs);
+  c2.seed = 999;  // SCTR ignores the rng
+  EXPECT_EQ(harness::run_workload(a, c1).cycles,
+            harness::run_workload(b, c2).cycles);
+}
+
+TEST(Runner, UopAndSpinAccountingFlowsThrough) {
+  workloads::MicroParams p;
+  p.total_iterations = 45;
+  workloads::SingleCounter wl(p);
+  const auto r = harness::run_workload(wl, small_cfg(locks::LockKind::kGlock));
+  EXPECT_GE(r.uops, 45u * 4u);  // each CS: exactly 2 lock uops + load + store
+  EXPECT_GT(r.gline_spin_cycles, 0u);
+  EXPECT_GT(r.energy.gline, 0.0);
+  EXPECT_GT(r.ed2p, 0.0);
+}
+
+TEST(CmpSystem, PaddedMeshForNonRectangularCoreCounts) {
+  // 32 cores on a 6x6 mesh: 4 router-only tiles, and everything works.
+  workloads::MicroParams p;
+  p.total_iterations = 64;
+  workloads::SingleCounter wl(p);
+  const auto r =
+      harness::run_workload(wl, small_cfg(locks::LockKind::kMcs, 32));
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(CmpSystem, SingleCoreRuns) {
+  workloads::MicroParams p;
+  p.total_iterations = 10;
+  workloads::SingleCounter wl(p);
+  for (const auto kind : {locks::LockKind::kMcs, locks::LockKind::kGlock,
+                          locks::LockKind::kTatas}) {
+    const auto r = harness::run_workload(wl, small_cfg(kind, 1));
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.lock_census[0].acquires, 10u);
+  }
+}
+
+TEST(Registry, ListsAllEightBenchmarks) {
+  EXPECT_EQ(workloads::registry().size(), 8u);
+  EXPECT_EQ(workloads::microbenchmark_names().size(), 5u);
+  EXPECT_EQ(workloads::application_names().size(), 3u);
+  EXPECT_EQ(workloads::make_workload("SCTR")->name(), "SCTR");
+  EXPECT_EQ(workloads::make_workload("QSORT")->num_hc_locks(), 1u);
+  EXPECT_EQ(workloads::make_workload("RAYTR")->num_locks(), 34u);
+  EXPECT_THROW(workloads::make_workload("NOPE"), SimError);
+}
+
+TEST(SplitIterations, ExactTotalAndBalance) {
+  for (const std::uint64_t total : {0ull, 1ull, 31ull, 1000ull}) {
+    for (const std::uint32_t n : {1u, 7u, 32u}) {
+      std::uint64_t sum = 0;
+      std::uint64_t hi = 0, lo = ~0ull;
+      for (std::uint32_t t = 0; t < n; ++t) {
+        const auto k = workloads::split_iterations(total, t, n);
+        sum += k;
+        hi = std::max(hi, k);
+        lo = std::min(lo, k);
+      }
+      EXPECT_EQ(sum, total);
+      EXPECT_LE(hi - lo, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace glocks

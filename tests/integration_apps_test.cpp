@@ -1,0 +1,62 @@
+// The three application kernels run correctly (their verify() checks
+// sortedness / checksums / replayed grids) under both lock policies.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "workloads/apps.hpp"
+
+namespace glocks {
+namespace {
+
+harness::RunConfig config_with(locks::LockKind hc) {
+  harness::RunConfig cfg;
+  cfg.cmp.num_cores = 16;  // small enough to keep test time low
+  cfg.policy.highly_contended = hc;
+  return cfg;
+}
+
+class AppsUnderLock : public ::testing::TestWithParam<locks::LockKind> {};
+
+TEST_P(AppsUnderLock, RaytraceCompletes) {
+  workloads::RaytraceLike::Params p;
+  p.num_rays = 96;
+  p.scene_lines = 64;
+  workloads::RaytraceLike wl(p);
+  const auto r = harness::run_workload(wl, config_with(GetParam()));
+  EXPECT_GT(r.cycles, 0u);
+  // Table III: 34 locks, 2 highly contended.
+  EXPECT_EQ(r.lock_census.size(), 34u);
+}
+
+TEST_P(AppsUnderLock, OceanCompletes) {
+  workloads::OceanLike::Params p;
+  p.grid_dim = 32;
+  p.timesteps = 3;
+  workloads::OceanLike wl(p);
+  const auto r = harness::run_workload(wl, config_with(GetParam()));
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.lock_census.size(), 3u);
+  // Ocean is memory/compute bound: lock time must not dominate.
+  EXPECT_LT(r.lock_fraction(), 0.6);
+}
+
+TEST_P(AppsUnderLock, QsortSorts) {
+  workloads::QSort::Params p;
+  p.num_elements = 2048;
+  workloads::QSort wl(p);
+  const auto r = harness::run_workload(wl, config_with(GetParam()));
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.lock_census.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AppsUnderLock,
+                         ::testing::Values(locks::LockKind::kMcs,
+                                           locks::LockKind::kGlock,
+                                           locks::LockKind::kTatas),
+                         [](const auto& info) {
+                           return std::string(
+                               locks::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace glocks

@@ -1,0 +1,39 @@
+// End-to-end smoke: every lock kind drives SCTR correctly on a small CMP.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "workloads/micro.hpp"
+
+namespace glocks {
+namespace {
+
+class SmokeSctr : public ::testing::TestWithParam<locks::LockKind> {};
+
+TEST_P(SmokeSctr, CountsCorrectlyOn9Cores) {
+  harness::RunConfig cfg;
+  cfg.cmp.num_cores = 9;
+  cfg.policy.highly_contended = GetParam();
+  workloads::MicroParams p;
+  p.total_iterations = 90;
+  workloads::SingleCounter wl(p);
+  const auto r = harness::run_workload(wl, cfg);  // verify() throws on bugs
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.lock_fraction(), 0.0);
+  EXPECT_EQ(r.lock_census.size(), 1u);
+  EXPECT_EQ(r.lock_census[0].acquires, 90u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SmokeSctr,
+    ::testing::Values(locks::LockKind::kSimple, locks::LockKind::kTatas,
+                      locks::LockKind::kTatasBackoff, locks::LockKind::kTicket,
+                      locks::LockKind::kArray, locks::LockKind::kMcs,
+                      locks::LockKind::kIdeal, locks::LockKind::kGlock),
+    [](const auto& info) {
+      return std::string(locks::to_string(info.param)) == "tatas-backoff"
+                 ? std::string("tatas_backoff")
+                 : std::string(locks::to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace glocks

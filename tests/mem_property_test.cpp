@@ -1,0 +1,213 @@
+// Property-based tests of the coherence protocol: randomized concurrent
+// access patterns must preserve atomicity and per-line single-writer
+// invariants, under aggressively small caches to force every eviction
+// path. The reference oracle is commutativity: when all updates to an
+// address are commutative AMOs, the final value is interleaving-independent.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/cmp_system.hpp"
+#include "harness/workload.hpp"
+
+namespace glocks {
+namespace {
+
+using core::Task;
+using core::ThreadApi;
+
+struct AddOp {
+  Addr addr;
+  Word delta;
+};
+
+Task<void> run_fetch_adds(ThreadApi& t, const std::vector<AddOp>* plan) {
+  for (const auto& op : *plan) {
+    co_await t.amo(mem::AmoKind::kFetchAdd, op.addr, op.delta);
+    // Interleave loads to create S states the next AMO must upgrade away.
+    co_await t.load(op.addr);
+  }
+}
+
+Task<void> seq_writer(ThreadApi& t, Addr a, Word writes) {
+  for (Word v = 1; v <= writes; ++v) {
+    co_await t.store(a, v);
+    co_await t.compute(3);
+  }
+}
+
+Task<void> monotonic_reader(ThreadApi& t, Addr a, int* violations,
+                            std::uint32_t salt) {
+  Word last = 0;
+  for (int i = 0; i < 120; ++i) {
+    const Word v = co_await t.load(a);
+    if (v < last) ++*violations;
+    last = v;
+    co_await t.compute(1 + (salt + i) % 5);
+  }
+}
+
+struct WOp {
+  Addr addr;
+  Word value;
+  bool is_store;
+};
+
+Task<void> run_wops(ThreadApi& t, const std::vector<WOp>* plan) {
+  for (const auto& op : *plan) {
+    if (op.is_store) {
+      co_await t.store(op.addr, op.value);
+    } else {
+      co_await t.load(op.addr);
+    }
+  }
+}
+
+struct PropertyParams {
+  std::uint32_t cores;
+  std::uint32_t lines;      ///< size of the shared address pool
+  std::uint64_t seed;
+  bool tiny_caches;
+};
+
+class MemProperty : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(MemProperty, ConcurrentFetchAddsSumExactly) {
+  const auto p = GetParam();
+  CmpConfig cfg;
+  cfg.num_cores = p.cores;
+  if (p.tiny_caches) {
+    cfg.l1.size_bytes = 2 * 1024;       // 8 sets: constant eviction
+    cfg.l2.slice_size_bytes = 16 * 1024;
+  }
+  harness::CmpSystem sys(cfg);
+  harness::WorkloadContext ctx(sys, harness::LockPolicy{}, p.seed);
+
+  const Addr pool = ctx.heap().alloc_lines(p.lines);
+  constexpr int kOpsPerThread = 150;
+
+  // Expected totals per line computed as we generate the plan.
+  std::vector<Word> expected(p.lines, 0);
+  std::vector<std::vector<AddOp>> plans(p.cores);
+  Rng rng(p.seed);
+  for (std::uint32_t c = 0; c < p.cores; ++c) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const auto li = static_cast<std::uint32_t>(rng.below(p.lines));
+      const Word delta = 1 + rng.below(5);
+      plans[c].push_back(AddOp{pool + Addr{li} * kLineBytes, delta});
+      expected[li] += delta;
+    }
+  }
+
+  for (CoreId c = 0; c < p.cores; ++c) {
+    sys.core(c).bind(c, p.cores, sys.hierarchy().l1(c),
+                     [&plans, c](ThreadApi& t) {
+                       return run_fetch_adds(t, &plans[c]);
+                     });
+  }
+  sys.run();
+  for (std::uint32_t li = 0; li < p.lines; ++li) {
+    EXPECT_EQ(sys.hierarchy().coherent_peek(pool + Addr{li} * kLineBytes),
+              expected[li])
+        << "line " << li;
+  }
+}
+
+TEST_P(MemProperty, SingleWriterManyReadersSeeOnlyPublishedValues) {
+  const auto p = GetParam();
+  CmpConfig cfg;
+  cfg.num_cores = p.cores;
+  if (p.tiny_caches) cfg.l1.size_bytes = 2 * 1024;
+  harness::CmpSystem sys(cfg);
+  harness::WorkloadContext ctx(sys, harness::LockPolicy{}, p.seed);
+  const Addr a = ctx.heap().alloc_line();
+
+  // Thread 0 writes the sequence 1..N; every reader's observations must
+  // be monotonically non-decreasing (per-location coherence order).
+  constexpr Word kWrites = 200;
+  int violations = 0;
+  for (CoreId c = 0; c < p.cores; ++c) {
+    sys.core(c).bind(c, p.cores, sys.hierarchy().l1(c),
+                     [&violations, a, c](ThreadApi& t) {
+                       return c == 0 ? seq_writer(t, a, kWrites)
+                                     : monotonic_reader(t, a, &violations,
+                                                        c);
+                     });
+  }
+  sys.run();
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(sys.hierarchy().coherent_peek(a), kWrites);
+}
+
+TEST_P(MemProperty, MixedRandomOpsKeepLinesInternallyConsistent) {
+  // Random loads/stores/AMOs where each word has a single designated
+  // writer thread: its final value must be that thread's last write.
+  const auto p = GetParam();
+  CmpConfig cfg;
+  cfg.num_cores = p.cores;
+  if (p.tiny_caches) {
+    cfg.l1.size_bytes = 2 * 1024;
+    cfg.l2.slice_size_bytes = 16 * 1024;
+  }
+  harness::CmpSystem sys(cfg);
+  harness::WorkloadContext ctx(sys, harness::LockPolicy{}, p.seed);
+  const Addr pool = ctx.heap().alloc_lines(p.lines);
+
+  // Word w of line l is owned (for writes) by thread (l + w) % cores;
+  // everyone may read anything.
+  std::vector<Word> final_value(p.lines * kWordsPerLine, 0);
+  std::vector<std::vector<WOp>> plans(p.cores);
+  Rng rng(p.seed ^ 0xabcdef);
+  for (std::uint32_t c = 0; c < p.cores; ++c) {
+    for (int i = 0; i < 120; ++i) {
+      const auto li = static_cast<std::uint32_t>(rng.below(p.lines));
+      const auto wi = static_cast<std::uint32_t>(rng.below(kWordsPerLine));
+      const Addr addr = pool + Addr{li} * kLineBytes + wi * sizeof(Word);
+      if ((li + wi) % p.cores == c) {
+        const Word v = rng.next() | 1;
+        plans[c].push_back(WOp{addr, v, true});
+        final_value[li * kWordsPerLine + wi] = v;
+      } else {
+        plans[c].push_back(WOp{addr, 0, false});
+      }
+    }
+  }
+  for (CoreId c = 0; c < p.cores; ++c) {
+    sys.core(c).bind(c, p.cores, sys.hierarchy().l1(c),
+                     [&plans, c](ThreadApi& t) {
+                       return run_wops(t, &plans[c]);
+                     });
+  }
+  sys.run();
+  for (std::uint32_t li = 0; li < p.lines; ++li) {
+    for (std::uint32_t wi = 0; wi < kWordsPerLine; ++wi) {
+      const Addr addr = pool + Addr{li} * kLineBytes + wi * sizeof(Word);
+      EXPECT_EQ(sys.hierarchy().coherent_peek(addr),
+                final_value[li * kWordsPerLine + wi])
+          << "line " << li << " word " << wi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, MemProperty,
+    ::testing::Values(PropertyParams{4, 3, 1, false},
+                      PropertyParams{9, 5, 2, false},
+                      PropertyParams{9, 2, 3, true},
+                      PropertyParams{16, 7, 4, false},
+                      PropertyParams{16, 4, 5, true},
+                      PropertyParams{32, 9, 6, true},
+                      PropertyParams{32, 5, 7, false},
+                      PropertyParams{25, 3, 8, true},
+                      PropertyParams{12, 6, 9, true},
+                      PropertyParams{7, 2, 10, true}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "c" + std::to_string(p.cores) + "_l" +
+             std::to_string(p.lines) + (p.tiny_caches ? "_tiny" : "") +
+             "_s" + std::to_string(p.seed);
+    });
+
+}  // namespace
+}  // namespace glocks

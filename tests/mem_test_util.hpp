@@ -1,0 +1,82 @@
+// Test fixture driving the memory hierarchy directly (no cores): issue
+// blocking ops to any L1 and step the engine until they retire.
+#pragma once
+
+#include "common/config.hpp"
+#include "mem/hierarchy.hpp"
+#include "noc/mesh.hpp"
+#include "sim/engine.hpp"
+
+namespace glocks::test {
+
+class MemHarness {
+ public:
+  static CmpConfig small_config(std::uint32_t cores = 4) {
+    CmpConfig cfg;
+    cfg.num_cores = cores;
+    return cfg;
+  }
+
+  explicit MemHarness(CmpConfig cfg = small_config())
+      : cfg_((cfg.validate(), cfg)),
+        mesh_(cfg_.mesh_tiles(), cfg_.mesh_width(), cfg_.noc),
+        hier_(cfg_, mesh_, engine_) {}
+
+  mem::Hierarchy& hier() { return hier_; }
+  sim::Engine& engine() { return engine_; }
+  const CmpConfig& config() const { return cfg_; }
+
+  /// Issues `op` at core `c` and steps until it completes; returns the
+  /// op's result (loaded value / pre-AMO value).
+  Word run_op(CoreId c, const mem::MemOp& op) {
+    bool done = false;
+    Word result = 0;
+    hier_.l1(c).issue(op, [&](Word w) {
+      result = w;
+      done = true;
+    });
+    Cycle guard = engine_.now() + 1000000;
+    while (!done) {
+      GLOCKS_CHECK(engine_.now() < guard, "memory op hung");
+      engine_.step();
+    }
+    return result;
+  }
+
+  Word load(CoreId c, Addr a) {
+    return run_op(c, {mem::MemOp::Type::kLoad, a, 0, 0,
+                      mem::AmoKind::kTestAndSet});
+  }
+  void store(CoreId c, Addr a, Word v) {
+    run_op(c, {mem::MemOp::Type::kStore, a, v, 0,
+               mem::AmoKind::kTestAndSet});
+  }
+  Word amo(CoreId c, mem::AmoKind k, Addr a, Word operand,
+           Word expected = 0) {
+    return run_op(c, {mem::MemOp::Type::kAmo, a, operand, expected, k});
+  }
+
+  /// Steps until all in-flight protocol traffic has drained.
+  void drain() {
+    const Cycle guard = engine_.now() + 1000000;
+    while (!hier_.quiescent()) {
+      GLOCKS_CHECK(engine_.now() < guard, "drain hung");
+      engine_.step();
+    }
+  }
+
+  /// Cycles an op takes from issue to completion.
+  Cycle timed(CoreId c, const mem::MemOp& op) {
+    const Cycle start = engine_.now();
+    run_op(c, op);
+    return engine_.now() - start;
+  }
+
+ private:
+  CmpConfig cfg_;
+  sim::Engine engine_;
+  noc::Mesh mesh_;
+  mem::Hierarchy hier_;
+};
+
+}  // namespace glocks::test

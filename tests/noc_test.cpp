@@ -1,0 +1,155 @@
+// Unit tests for the 2D-mesh network: routing, latency, ordering,
+// backpressure, and Figure 9 traffic accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/config.hpp"
+#include "noc/mesh.hpp"
+
+namespace glocks::noc {
+namespace {
+
+struct Delivery {
+  Cycle cycle;
+  std::uint64_t seq;
+  CoreId src;
+};
+
+class MeshFixture : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kTiles = 16;
+  static constexpr std::uint32_t kWidth = 4;
+
+  MeshFixture() : mesh_(kTiles, kWidth, NocConfig{}) {
+    for (CoreId t = 0; t < kTiles; ++t) {
+      mesh_.set_sink(t, [this, t](Packet&& p) {
+        deliveries_[t].push_back(Delivery{now_, p.seq, p.src});
+      });
+    }
+  }
+
+  void run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) {
+      mesh_.tick(now_);
+      ++now_;
+    }
+  }
+
+  Cycle now_ = 0;
+  Mesh mesh_;
+  std::map<CoreId, std::vector<Delivery>> deliveries_;
+};
+
+TEST_F(MeshFixture, ZeroLoadLatencyMatchesHopFormula) {
+  // inject(1) + hops*(router 3 + link 1) + final router 3.
+  const NocConfig cfg;
+  for (const auto [src, dst] : {std::pair<CoreId, CoreId>{0, 1},
+                                {0, 3},
+                                {0, 15},
+                                {5, 6},
+                                {12, 3}}) {
+    deliveries_.clear();
+    mesh_.send(src, dst, MsgClass::kRequest, 8, nullptr);
+    const Cycle t0 = now_;
+    run(200);
+    ASSERT_EQ(deliveries_[dst].size(), 1u) << src << "->" << dst;
+    const Cycle hops = mesh_.hop_distance(src, dst);
+    const Cycle expect =
+        t0 + 1 +
+        hops * (cfg.router_latency + cfg.link_latency) +
+        cfg.router_latency;
+    EXPECT_EQ(deliveries_[dst][0].cycle, expect) << src << "->" << dst;
+  }
+}
+
+TEST_F(MeshFixture, XYRoutingCountsHopBytesPerSwitch) {
+  // 0 -> 15 crosses 6 hops + enters at the source router: the packet is
+  // forwarded by 7 routers in total (source + 5 intermediate + dest).
+  mesh_.send(0, 15, MsgClass::kReply, 72, nullptr);
+  run(100);
+  EXPECT_EQ(mesh_.stats().hops(MsgClass::kReply), 7u);
+  EXPECT_EQ(mesh_.stats().bytes(MsgClass::kReply), 7u * 72u);
+  EXPECT_EQ(mesh_.stats().packets(MsgClass::kReply), 1u);
+}
+
+TEST_F(MeshFixture, TrafficClassesAccountedSeparately) {
+  mesh_.send(0, 1, MsgClass::kRequest, 8, nullptr);
+  mesh_.send(0, 1, MsgClass::kCoherence, 8, nullptr);
+  mesh_.send(1, 0, MsgClass::kReply, 72, nullptr);
+  run(100);
+  EXPECT_EQ(mesh_.stats().bytes(MsgClass::kRequest), 2u * 8u);
+  EXPECT_EQ(mesh_.stats().bytes(MsgClass::kCoherence), 2u * 8u);
+  EXPECT_EQ(mesh_.stats().bytes(MsgClass::kReply), 2u * 72u);
+  EXPECT_EQ(mesh_.stats().total_packets(), 3u);
+}
+
+TEST_F(MeshFixture, SameSrcDstPairDeliversInFifoOrder) {
+  for (int i = 0; i < 20; ++i) {
+    mesh_.send(0, 15, MsgClass::kRequest, 8, nullptr);
+  }
+  run(400);
+  ASSERT_EQ(deliveries_[15].size(), 20u);
+  for (std::size_t i = 1; i < 20; ++i) {
+    EXPECT_LT(deliveries_[15][i - 1].seq, deliveries_[15][i].seq);
+  }
+}
+
+TEST_F(MeshFixture, HeavyFanInDeliversEverythingDespiteBackpressure) {
+  // Every tile floods tile 5; bounded router queues must not drop or
+  // deadlock, and the NIC outbox absorbs the excess.
+  int expected = 0;
+  for (CoreId src = 0; src < kTiles; ++src) {
+    if (src == 5) continue;
+    for (int i = 0; i < 40; ++i) {
+      mesh_.send(src, 5, MsgClass::kRequest, 8, nullptr);
+      ++expected;
+    }
+  }
+  run(5000);
+  EXPECT_EQ(static_cast<int>(deliveries_[5].size()), expected);
+  EXPECT_TRUE(mesh_.idle());
+}
+
+TEST_F(MeshFixture, EjectionPortDeliversAtMostOnePerCycle) {
+  for (CoreId src = 1; src < 5; ++src) {
+    mesh_.send(src, 0, MsgClass::kRequest, 8, nullptr);
+  }
+  run(200);
+  ASSERT_EQ(deliveries_[0].size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(deliveries_[0][i].cycle, deliveries_[0][i - 1].cycle);
+  }
+}
+
+TEST_F(MeshFixture, IdleAfterDrainAndBusyInFlight) {
+  EXPECT_TRUE(mesh_.idle());
+  mesh_.send(0, 15, MsgClass::kRequest, 8, nullptr);
+  EXPECT_FALSE(mesh_.idle());
+  run(100);
+  EXPECT_TRUE(mesh_.idle());
+}
+
+TEST_F(MeshFixture, RejectsSameTileMessages) {
+  EXPECT_THROW(mesh_.send(3, 3, MsgClass::kRequest, 8, nullptr),
+               glocks::SimError);
+}
+
+TEST_F(MeshFixture, HopDistanceIsManhattan) {
+  EXPECT_EQ(mesh_.hop_distance(0, 0), 0u);
+  EXPECT_EQ(mesh_.hop_distance(0, 3), 3u);
+  EXPECT_EQ(mesh_.hop_distance(0, 15), 6u);
+  EXPECT_EQ(mesh_.hop_distance(15, 0), 6u);
+  EXPECT_EQ(mesh_.hop_distance(5, 10), 2u);
+}
+
+TEST(MsgClass, Names) {
+  EXPECT_EQ(to_string(MsgClass::kRequest), "Request");
+  EXPECT_EQ(to_string(MsgClass::kReply), "Reply");
+  EXPECT_EQ(to_string(MsgClass::kCoherence), "Coherence");
+}
+
+}  // namespace
+}  // namespace glocks::noc

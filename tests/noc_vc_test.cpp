@@ -1,0 +1,98 @@
+// Virtual-channel behaviour: per-class FIFOs must isolate message
+// classes from each other's head-of-line blocking while preserving
+// within-class FIFO delivery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/config.hpp"
+#include "noc/mesh.hpp"
+
+namespace glocks::noc {
+namespace {
+
+struct Rec {
+  Cycle cycle;
+  MsgClass cls;
+  std::uint64_t seq;
+};
+
+class VcFixture : public ::testing::Test {
+ protected:
+  VcFixture() : mesh_(make_mesh()) {
+    for (CoreId t = 0; t < 16; ++t) {
+      mesh_.set_sink(t, [this, t](Packet&& p) {
+        got_[t].push_back(Rec{now_, p.cls, p.seq});
+      });
+    }
+  }
+  static Mesh make_mesh() {
+    NocConfig cfg;
+    cfg.input_queue_depth = 2;  // tiny FIFOs: blocking is easy to trigger
+    return Mesh(16, 4, cfg);
+  }
+  void run(int n) {
+    for (int i = 0; i < n; ++i) mesh_.tick(now_++);
+  }
+
+  Cycle now_ = 0;
+  Mesh mesh_;
+  std::map<CoreId, std::vector<Rec>> got_;
+};
+
+TEST_F(VcFixture, RepliesAreNotBlockedBehindCoherenceBursts) {
+  // Flood the 0->3 path with Coherence packets, then send one Reply the
+  // same way. With shared FIFOs the Reply would wait behind the burst;
+  // with per-class VCs it overtakes most of it.
+  for (int i = 0; i < 30; ++i) {
+    mesh_.send(0, 3, MsgClass::kCoherence, 8, nullptr);
+  }
+  mesh_.send(0, 3, MsgClass::kReply, 72, nullptr);
+  run(400);
+  ASSERT_EQ(got_[3].size(), 31u);
+  // Find the reply's delivery position within the stream.
+  std::size_t reply_pos = 0;
+  for (std::size_t i = 0; i < got_[3].size(); ++i) {
+    if (got_[3][i].cls == MsgClass::kReply) reply_pos = i;
+  }
+  EXPECT_LT(reply_pos, 15u) << "reply was head-of-line blocked";
+}
+
+TEST_F(VcFixture, WithinClassFifoOrderStillHolds) {
+  for (int i = 0; i < 12; ++i) {
+    mesh_.send(0, 15, MsgClass::kRequest, 8, nullptr);
+    mesh_.send(0, 15, MsgClass::kCoherence, 8, nullptr);
+  }
+  run(600);
+  ASSERT_EQ(got_[15].size(), 24u);
+  long long last_req = -1, last_coh = -1;
+  for (const auto& r : got_[15]) {
+    auto& last = r.cls == MsgClass::kRequest ? last_req : last_coh;
+    EXPECT_GT(static_cast<long long>(r.seq), last)
+        << "within-class reordering";
+    last = static_cast<long long>(r.seq);
+  }
+}
+
+TEST_F(VcFixture, AllClassesDrainUnderCrossTraffic) {
+  int expected = 0;
+  for (CoreId src = 0; src < 16; ++src) {
+    for (CoreId dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      mesh_.send(src, dst, MsgClass::kRequest, 8, nullptr);
+      mesh_.send(src, dst, MsgClass::kReply, 72, nullptr);
+      mesh_.send(src, dst, MsgClass::kCoherence, 8, nullptr);
+      expected += 3;
+    }
+  }
+  run(4000);
+  int delivered = 0;
+  for (const auto& [tile, recs] : got_) delivered += recs.size();
+  EXPECT_EQ(delivered, expected);
+  EXPECT_TRUE(mesh_.idle());
+}
+
+}  // namespace
+}  // namespace glocks::noc

@@ -1,0 +1,77 @@
+// Energy model tests: component attribution, leakage, ED2P arithmetic.
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace glocks::power {
+namespace {
+
+TEST(EnergyModel, ZeroActivityIsLeakageOnly) {
+  EnergyModel model;
+  ActivityCounts a;
+  a.cycles = 1000;
+  a.num_tiles = 4;
+  const auto e = model.estimate(a);
+  EXPECT_DOUBLE_EQ(e.cores, 0.0);
+  EXPECT_DOUBLE_EQ(e.network, 0.0);
+  EXPECT_DOUBLE_EQ(e.gline, 0.0);
+  EXPECT_DOUBLE_EQ(e.leakage,
+                   1000.0 * 4 * model.params().tile_leakage_pj_per_cycle);
+  EXPECT_DOUBLE_EQ(e.total(), e.leakage);
+}
+
+TEST(EnergyModel, ComponentsAddUp) {
+  EnergyModel model;
+  ActivityCounts a;
+  a.cycles = 10;
+  a.num_tiles = 1;
+  a.uops = 100;
+  a.l1.loads = 50;
+  a.noc.record_hop(noc::MsgClass::kReply, 72);
+  a.dir.memory_fetches = 2;
+  a.gline.signals = 8;
+  const auto e = model.estimate(a);
+  EXPECT_DOUBLE_EQ(e.cores, 100 * model.params().core_uop_pj);
+  EXPECT_DOUBLE_EQ(e.l1, 50 * model.params().l1_access_pj);
+  EXPECT_DOUBLE_EQ(e.network, 72 * model.params().noc_byte_hop_pj);
+  EXPECT_DOUBLE_EQ(e.memory, 2 * model.params().memory_access_pj);
+  EXPECT_DOUBLE_EQ(e.gline, 8 * model.params().gline_signal_pj);
+  EXPECT_DOUBLE_EQ(e.total(), e.cores + e.l1 + e.l2_dir + e.network +
+                                  e.memory + e.gline + e.leakage);
+}
+
+TEST(EnergyModel, GlineSpinCyclesAreCheaperThanStalls) {
+  EnergyModel model;
+  ActivityCounts spin, stall;
+  spin.cycles = stall.cycles = 100;
+  spin.num_tiles = stall.num_tiles = 1;
+  spin.stall_cycles = stall.stall_cycles = 1000;
+  spin.gline_spin_cycles = 1000;  // all stalls are register spins
+  EXPECT_LT(model.estimate(spin).cores, model.estimate(stall).cores);
+}
+
+TEST(EnergyModel, Ed2pScalesWithDelaySquared) {
+  EnergyReport e;
+  e.cores = 1e6;  // 1 uJ
+  const double d1 = EnergyModel::ed2p(e, 1000, 3000);
+  const double d2 = EnergyModel::ed2p(e, 2000, 3000);
+  EXPECT_NEAR(d2 / d1, 4.0, 1e-9);
+  // Energy is linear in ED2P.
+  EnergyReport e2 = e;
+  e2.cores *= 3;
+  EXPECT_NEAR(EnergyModel::ed2p(e2, 1000, 3000) / d1, 3.0, 1e-9);
+}
+
+TEST(EnergyReport, TableMentionsEveryComponent) {
+  EnergyReport e;
+  e.cores = 1;
+  const std::string table = e.to_table();
+  for (const char* key :
+       {"cores", "L1", "L2 + dir", "network", "memory", "G-lines",
+        "leakage", "total"}) {
+    EXPECT_NE(table.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace glocks::power

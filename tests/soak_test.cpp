@@ -1,0 +1,164 @@
+// Whole-chip randomized soak: many seeds x mixed lock kinds x mixed
+// operation streams, all three synchronization fabrics (software locks,
+// GLocks, SB locks, barriers) active at once, with tiny caches to maximize
+// protocol churn. Each run checks mutual exclusion canaries, counter
+// sums, and full drain. This is the regression net for the protocol
+// races the virtual-channel work surfaced.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/cmp_system.hpp"
+#include "harness/workload.hpp"
+#include "locks/factory.hpp"
+#include "sync/barrier.hpp"
+
+namespace glocks {
+namespace {
+
+using core::Task;
+using core::ThreadApi;
+
+struct SoakWorld {
+  std::vector<locks::Lock*> locks;
+  std::vector<Addr> counters;      ///< one per lock, same index
+  std::vector<Word> expected;      ///< increments applied per counter
+  std::vector<int> inside;
+  sync::Barrier* barrier = nullptr;
+  Addr scratch = 0;  ///< shared array the threads also churn through
+  int violations = 0;
+
+  struct Step {
+    enum Kind { kLock, kScratch, kBarrier, kCompute } kind;
+    std::uint32_t arg;
+  };
+  std::vector<std::vector<Step>> plans;
+
+  Task<void> body(ThreadApi& t) {
+    for (const Step& s : plans[t.thread_id()]) {
+      switch (s.kind) {
+        case Step::kLock: {
+          auto& lock = *locks[s.arg];
+          co_await lock.acquire(t);
+          if (++inside[s.arg] != 1) ++violations;
+          const Addr a = counters[s.arg];
+          const Word v = co_await t.load(a);
+          co_await t.compute(1 + s.arg % 4);
+          co_await t.store(a, v + 1);
+          --inside[s.arg];
+          co_await lock.release(t);
+          break;
+        }
+        case Step::kScratch:
+          co_await t.store(scratch + (s.arg % 64) * sizeof(Word),
+                           s.arg);  // racy on purpose; churns coherence
+          co_await t.load(scratch + ((s.arg * 7) % 64) * sizeof(Word));
+          break;
+        case Step::kBarrier:
+          co_await barrier->await(t);
+          break;
+        case Step::kCompute:
+          co_await t.compute(1 + s.arg % 16);
+          break;
+      }
+    }
+  }
+};
+
+struct SoakParams {
+  std::uint64_t seed;
+  std::uint32_t cores;
+};
+
+class Soak : public ::testing::TestWithParam<SoakParams> {};
+
+TEST_P(Soak, MixedFabricChurnStaysCoherent) {
+  const auto [seed, cores] = GetParam();
+  CmpConfig cfg;
+  cfg.num_cores = cores;
+  cfg.l1.size_bytes = 2 * 1024;        // brutal: constant evictions
+  cfg.l2.slice_size_bytes = 16 * 1024;
+  harness::CmpSystem sys(cfg);
+  harness::WorkloadContext ctx(sys, harness::LockPolicy{}, seed);
+
+  const locks::LockKind kinds[] = {
+      locks::LockKind::kTatas, locks::LockKind::kMcs,
+      locks::LockKind::kGlock, locks::LockKind::kSb,
+      locks::LockKind::kTicket, locks::LockKind::kGlock,
+  };
+  locks::GlockAllocator glocks(2);
+  std::vector<std::unique_ptr<locks::Lock>> owned;
+  SoakWorld world;
+  for (std::size_t i = 0; i < std::size(kinds); ++i) {
+    owned.push_back(locks::make_lock(kinds[i], "soak" + std::to_string(i),
+                                     ctx.heap(), cores, &glocks));
+    owned.back()->preload(ctx.memory());
+    world.locks.push_back(owned.back().get());
+    world.counters.push_back(ctx.heap().alloc_line());
+    world.inside.push_back(0);
+  }
+  world.expected.assign(world.locks.size(), 0);
+  world.barrier = &ctx.make_tree_barrier();
+  world.scratch = ctx.heap().alloc_lines(8);
+
+  // Random per-thread plans. Barriers must appear the same number of
+  // times in every thread's plan.
+  Rng rng(seed);
+  constexpr int kBarriers = 3;
+  world.plans.resize(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    std::vector<SoakWorld::Step> plan;
+    for (int seg = 0; seg <= kBarriers; ++seg) {
+      const int n = 10 + static_cast<int>(rng.below(15));
+      for (int i = 0; i < n; ++i) {
+        const auto roll = rng.below(10);
+        if (roll < 5) {
+          const auto li =
+              static_cast<std::uint32_t>(rng.below(world.locks.size()));
+          plan.push_back({SoakWorld::Step::kLock, li});
+          ++world.expected[li];
+        } else if (roll < 8) {
+          plan.push_back({SoakWorld::Step::kScratch,
+                          static_cast<std::uint32_t>(rng.below(512))});
+        } else {
+          plan.push_back({SoakWorld::Step::kCompute,
+                          static_cast<std::uint32_t>(rng.below(64))});
+        }
+      }
+      if (seg < kBarriers) plan.push_back({SoakWorld::Step::kBarrier, 0});
+    }
+    world.plans[c] = std::move(plan);
+  }
+
+  for (CoreId c = 0; c < cores; ++c) {
+    sys.core(c).bind(c, cores, sys.hierarchy().l1(c),
+                     [&world](ThreadApi& t) { return world.body(t); });
+  }
+  sys.run();
+
+  EXPECT_EQ(world.violations, 0);
+  for (std::size_t i = 0; i < world.locks.size(); ++i) {
+    EXPECT_EQ(sys.hierarchy().coherent_peek(world.counters[i]),
+              world.expected[i])
+        << "lock " << i << " (" << world.locks[i]->kind_name() << ")";
+    EXPECT_EQ(world.locks[i]->stats().acquires, world.expected[i]);
+  }
+  EXPECT_TRUE(sys.hierarchy().quiescent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, Soak,
+    ::testing::Values(SoakParams{1, 9}, SoakParams{2, 9}, SoakParams{3, 16},
+                      SoakParams{4, 16}, SoakParams{5, 25},
+                      SoakParams{6, 25}, SoakParams{7, 32},
+                      SoakParams{8, 32}, SoakParams{9, 12},
+                      SoakParams{10, 7}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.seed) + "_c" +
+             std::to_string(info.param.cores);
+    });
+
+}  // namespace
+}  // namespace glocks

@@ -1,0 +1,123 @@
+// Tests for the trace-driven workload: format round-trip, parse errors,
+// generation, and replay correctness under multiple lock policies.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hpp"
+#include "workloads/trace_replay.hpp"
+
+namespace glocks {
+namespace {
+
+using workloads::LockTrace;
+using workloads::TraceReplay;
+
+constexpr const char* kSample = R"(# a small trace
+locks 3
+hc 0 2
+ep 0 0 10 2 5
+ep 0 1 4 1 0
+ep 1 0 10 2 5
+ep 1 2 8 3 20
+ep 2 2 8 1 0
+)";
+
+TEST(LockTraceFormat, ParsesTheSample) {
+  std::istringstream in(kSample);
+  const LockTrace t = workloads::parse_lock_trace(in);
+  EXPECT_EQ(t.num_locks, 3u);
+  EXPECT_TRUE(t.highly_contended[0]);
+  EXPECT_FALSE(t.highly_contended[1]);
+  EXPECT_TRUE(t.highly_contended[2]);
+  ASSERT_EQ(t.num_threads(), 3u);
+  EXPECT_EQ(t.per_thread[0].size(), 2u);
+  EXPECT_EQ(t.total_episodes(), 5u);
+  EXPECT_EQ(t.per_thread[1][1].cs_mem_ops, 3u);
+  EXPECT_EQ(t.per_thread[1][1].think, 20u);
+}
+
+TEST(LockTraceFormat, RoundTrips) {
+  std::istringstream in(kSample);
+  const LockTrace t = workloads::parse_lock_trace(in);
+  std::ostringstream out;
+  workloads::write_lock_trace(t, out);
+  std::istringstream in2(out.str());
+  const LockTrace t2 = workloads::parse_lock_trace(in2);
+  EXPECT_EQ(t2.total_episodes(), t.total_episodes());
+  EXPECT_EQ(t2.highly_contended, t.highly_contended);
+  EXPECT_EQ(t2.per_thread[1][1].think, 20u);
+}
+
+TEST(LockTraceFormat, RejectsMalformedInput) {
+  for (const char* bad :
+       {"ep 0 0 1 1 1\n",       // ep before locks
+        "locks 2\nhc 5\n",      // hc id out of range
+        "locks 2\nep 0 7 1 1 1\n",  // lock id out of range
+        "locks 2\nep 0 0 1\n",  // short ep line
+        "locks 2\nbogus\n",     // unknown tag
+        ""}) {                  // no header at all
+    std::istringstream in(bad);
+    EXPECT_THROW(workloads::parse_lock_trace(in), SimError) << bad;
+  }
+}
+
+TEST(LockTraceFormat, GeneratorShapesTheTrace) {
+  Rng rng(7);
+  const LockTrace t =
+      workloads::generate_lock_trace(rng, 8, 4, 50, /*hot_fraction=*/0.8);
+  EXPECT_EQ(t.num_threads(), 8u);
+  EXPECT_EQ(t.total_episodes(), 400u);
+  std::uint64_t hot = 0;
+  for (const auto& th : t.per_thread) {
+    for (const auto& ep : th) hot += ep.lock == 0 ? 1 : 0;
+  }
+  // ~80% of episodes target the hot lock.
+  EXPECT_GT(hot, 400u * 7 / 10);
+  EXPECT_LT(hot, 400u * 9 / 10);
+  EXPECT_TRUE(t.highly_contended[0]);
+}
+
+class TraceReplayPolicies
+    : public ::testing::TestWithParam<locks::LockKind> {};
+
+TEST_P(TraceReplayPolicies, ReplaysAndVerifies) {
+  Rng rng(11);
+  TraceReplay wl(workloads::generate_lock_trace(rng, 9, 3, 20));
+  harness::RunConfig cfg;
+  cfg.cmp.num_cores = 9;
+  cfg.policy.highly_contended = GetParam();
+  const auto r = harness::run_workload(wl, cfg);  // verify() inside
+  EXPECT_EQ(r.lock_census.size(), 3u);
+  std::uint64_t acqs = 0;
+  for (const auto& lc : r.lock_census) acqs += lc.acquires;
+  EXPECT_EQ(acqs, 9u * 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, TraceReplayPolicies,
+                         ::testing::Values(locks::LockKind::kMcs,
+                                           locks::LockKind::kGlock,
+                                           locks::LockKind::kTicket),
+                         [](const auto& info) {
+                           return std::string(
+                               locks::to_string(info.param));
+                         });
+
+TEST(TraceReplay, IdleCoresAreAllowedButNotExtraThreads) {
+  Rng rng(3);
+  {
+    TraceReplay wl(workloads::generate_lock_trace(rng, 4, 2, 5));
+    harness::RunConfig cfg;
+    cfg.cmp.num_cores = 9;  // 5 idle cores
+    EXPECT_NO_THROW(harness::run_workload(wl, cfg));
+  }
+  {
+    TraceReplay wl(workloads::generate_lock_trace(rng, 16, 2, 5));
+    harness::RunConfig cfg;
+    cfg.cmp.num_cores = 9;  // too few cores
+    EXPECT_THROW(harness::run_workload(wl, cfg), SimError);
+  }
+}
+
+}  // namespace
+}  // namespace glocks

@@ -1,0 +1,118 @@
+// Tests for the Section V extension: dynamic sharing of the few physical
+// GLocks among many logical locks (VirtualGlockPool).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/cmp_system.hpp"
+#include "harness/workload.hpp"
+#include "locks/virtual_glock.hpp"
+
+namespace glocks {
+namespace {
+
+using core::Task;
+using core::ThreadApi;
+
+struct VLockStress {
+  std::vector<locks::VirtualGlock*> locks;
+  std::vector<int> inside;
+  int max_inside = 0;
+
+  Task<void> body(ThreadApi& t, int iters) {
+    for (int i = 0; i < iters; ++i) {
+      // Each thread cycles over all locks so bindings must move around.
+      auto& lock = *locks[(t.thread_id() + i) % locks.size()];
+      const auto li = (t.thread_id() + i) % locks.size();
+      co_await lock.acquire(t);
+      ++inside[li];
+      max_inside = std::max(max_inside, inside[li]);
+      EXPECT_EQ(inside[li], 1) << "overlap on logical lock " << li;
+      co_await t.compute(5);
+      co_await t.load(0x800000 + li * kLineBytes);
+      --inside[li];
+      co_await lock.release(t);
+      co_await t.compute(3 + t.thread_id() % 5);
+    }
+  }
+};
+
+TEST(VirtualGlock, FourLogicalLocksOnTwoPhysical) {
+  CmpConfig cfg;
+  cfg.num_cores = 9;
+  harness::CmpSystem sys(cfg);
+  harness::WorkloadContext ctx(sys, harness::LockPolicy{}, 1);
+
+  locks::VirtualGlockPool pool(cfg.gline.num_glocks);
+  VLockStress stress;
+  stress.inside.assign(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    stress.locks.push_back(&pool.create(ctx.heap(), "v" + std::to_string(i)));
+  }
+  for (CoreId c = 0; c < 9; ++c) {
+    sys.core(c).bind(c, 9, sys.hierarchy().l1(c),
+                     [&](ThreadApi& t) { return stress.body(t, 20); });
+  }
+  sys.run();
+  EXPECT_EQ(stress.max_inside, 1);
+  // With 4 logical locks on 2 physical ones, some activations must have
+  // fallen back to software and/or rebound dynamically.
+  EXPECT_GT(pool.binds(), 0u);
+  EXPECT_GT(pool.software_activations() + pool.steals(), 0u);
+}
+
+TEST(VirtualGlock, SingleLockBehavesLikePlainGlock) {
+  CmpConfig cfg;
+  cfg.num_cores = 4;
+  harness::CmpSystem sys(cfg);
+  harness::WorkloadContext ctx(sys, harness::LockPolicy{}, 1);
+  locks::VirtualGlockPool pool(2);
+  VLockStress stress;
+  stress.inside.assign(1, 0);
+  stress.locks.push_back(&pool.create(ctx.heap(), "only"));
+  for (CoreId c = 0; c < 4; ++c) {
+    sys.core(c).bind(c, 4, sys.hierarchy().l1(c),
+                     [&](ThreadApi& t) { return stress.body(t, 15); });
+  }
+  sys.run();
+  EXPECT_EQ(stress.max_inside, 1);
+  EXPECT_EQ(pool.software_activations(), 0u);  // never ran out of hardware
+  EXPECT_EQ(pool.steals(), 0u);
+  EXPECT_EQ(pool.binds(), 1u);  // bound once, kept warm
+  EXPECT_GT(sys.glines().total_stats().acquires_granted, 0u);
+}
+
+TEST(VirtualGlock, ExhaustedPoolFallsBackToSoftware) {
+  CmpConfig cfg;
+  cfg.num_cores = 4;
+  cfg.gline.num_glocks = 1;
+  harness::CmpSystem sys(cfg);
+  harness::WorkloadContext ctx(sys, harness::LockPolicy{}, 1);
+  locks::VirtualGlockPool pool(1);
+  VLockStress stress;
+  stress.inside.assign(2, 0);
+  stress.locks.push_back(&pool.create(ctx.heap(), "a"));
+  stress.locks.push_back(&pool.create(ctx.heap(), "b"));
+  // All threads alternate between both locks; with one physical GLock,
+  // the second concurrent activation must take the TATAS path.
+  for (CoreId c = 0; c < 4; ++c) {
+    sys.core(c).bind(c, 4, sys.hierarchy().l1(c),
+                     [&](ThreadApi& t) { return stress.body(t, 20); });
+  }
+  sys.run();
+  EXPECT_EQ(stress.max_inside, 1);
+  EXPECT_GT(pool.software_activations(), 0u);
+}
+
+TEST(VirtualGlockPool, BindingAccounting) {
+  mem::SimAllocator heap;
+  locks::VirtualGlockPool pool(2, /*bind_cycles=*/17);
+  EXPECT_EQ(pool.free_physical(), 2u);
+  EXPECT_EQ(pool.bind_cost_cycles(), 17u);
+  auto& a = pool.create(heap, "a");
+  EXPECT_FALSE(a.bound());  // binding is lazy (first acquire)
+  EXPECT_TRUE(a.quiet());
+}
+
+}  // namespace
+}  // namespace glocks
