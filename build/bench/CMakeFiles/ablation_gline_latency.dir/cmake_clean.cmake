@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gline_latency.dir/ablation_gline_latency.cpp.o"
+  "CMakeFiles/ablation_gline_latency.dir/ablation_gline_latency.cpp.o.d"
+  "ablation_gline_latency"
+  "ablation_gline_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gline_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

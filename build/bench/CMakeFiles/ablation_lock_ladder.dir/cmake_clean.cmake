@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_ladder.dir/ablation_lock_ladder.cpp.o"
+  "CMakeFiles/ablation_lock_ladder.dir/ablation_lock_ladder.cpp.o.d"
+  "ablation_lock_ladder"
+  "ablation_lock_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

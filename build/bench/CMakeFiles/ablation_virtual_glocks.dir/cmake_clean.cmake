@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_virtual_glocks.dir/ablation_virtual_glocks.cpp.o"
+  "CMakeFiles/ablation_virtual_glocks.dir/ablation_virtual_glocks.cpp.o.d"
+  "ablation_virtual_glocks"
+  "ablation_virtual_glocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_virtual_glocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_glock_assignment.dir/auto_glock_assignment.cpp.o"
+  "CMakeFiles/auto_glock_assignment.dir/auto_glock_assignment.cpp.o.d"
+  "auto_glock_assignment"
+  "auto_glock_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_glock_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_analysis.dir/crossover_analysis.cpp.o"
+  "CMakeFiles/crossover_analysis.dir/crossover_analysis.cpp.o.d"
+  "crossover_analysis"
+  "crossover_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ideal_locks.dir/fig01_ideal_locks.cpp.o"
+  "CMakeFiles/fig01_ideal_locks.dir/fig01_ideal_locks.cpp.o.d"
+  "fig01_ideal_locks"
+  "fig01_ideal_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ideal_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_contention_rate.dir/fig07_contention_rate.cpp.o"
+  "CMakeFiles/fig07_contention_rate.dir/fig07_contention_rate.cpp.o.d"
+  "fig07_contention_rate"
+  "fig07_contention_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_contention_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

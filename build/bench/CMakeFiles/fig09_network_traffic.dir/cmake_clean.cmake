@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_network_traffic.dir/fig09_network_traffic.cpp.o"
+  "CMakeFiles/fig09_network_traffic.dir/fig09_network_traffic.cpp.o.d"
+  "fig09_network_traffic"
+  "fig09_network_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_network_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ed2p.dir/fig10_ed2p.cpp.o"
+  "CMakeFiles/fig10_ed2p.dir/fig10_ed2p.cpp.o.d"
+  "fig10_ed2p"
+  "fig10_ed2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ed2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

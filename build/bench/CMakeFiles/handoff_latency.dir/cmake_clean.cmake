@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handoff_latency.dir/handoff_latency.cpp.o"
+  "CMakeFiles/handoff_latency.dir/handoff_latency.cpp.o.d"
+  "handoff_latency"
+  "handoff_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handoff_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_lock_comparison.dir/hardware_lock_comparison.cpp.o"
+  "CMakeFiles/hardware_lock_comparison.dir/hardware_lock_comparison.cpp.o.d"
+  "hardware_lock_comparison"
+  "hardware_lock_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_lock_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

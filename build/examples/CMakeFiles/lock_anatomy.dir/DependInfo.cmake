@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/lock_anatomy.cpp" "examples/CMakeFiles/lock_anatomy.dir/lock_anatomy.cpp.o" "gcc" "examples/CMakeFiles/lock_anatomy.dir/lock_anatomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/glocks_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/glocks_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/glocks_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/gline/CMakeFiles/glocks_gline.dir/DependInfo.cmake"
+  "/root/repo/build/src/locks/CMakeFiles/glocks_locks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/glocks_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glocks_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/glocks_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/glocks_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/glocks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/glocks_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glocks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

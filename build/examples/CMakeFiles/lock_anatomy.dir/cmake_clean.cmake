@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_anatomy.dir/lock_anatomy.cpp.o"
+  "CMakeFiles/lock_anatomy.dir/lock_anatomy.cpp.o.d"
+  "lock_anatomy"
+  "lock_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_tune.dir/profile_and_tune.cpp.o"
+  "CMakeFiles/profile_and_tune.dir/profile_and_tune.cpp.o.d"
+  "profile_and_tune"
+  "profile_and_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

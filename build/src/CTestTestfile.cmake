@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("trace")
+subdirs("noc")
+subdirs("mem")
+subdirs("core")
+subdirs("gline")
+subdirs("locks")
+subdirs("sync")
+subdirs("power")
+subdirs("harness")
+subdirs("workloads")
+subdirs("tools")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_common.dir/check.cpp.o"
+  "CMakeFiles/glocks_common.dir/check.cpp.o.d"
+  "CMakeFiles/glocks_common.dir/config.cpp.o"
+  "CMakeFiles/glocks_common.dir/config.cpp.o.d"
+  "CMakeFiles/glocks_common.dir/stats.cpp.o"
+  "CMakeFiles/glocks_common.dir/stats.cpp.o.d"
+  "libglocks_common.a"
+  "libglocks_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

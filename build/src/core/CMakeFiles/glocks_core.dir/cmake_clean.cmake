@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_core.dir/core.cpp.o"
+  "CMakeFiles/glocks_core.dir/core.cpp.o.d"
+  "libglocks_core.a"
+  "libglocks_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_gline.dir/gbarrier_unit.cpp.o"
+  "CMakeFiles/glocks_gline.dir/gbarrier_unit.cpp.o.d"
+  "CMakeFiles/glocks_gline.dir/gline_system.cpp.o"
+  "CMakeFiles/glocks_gline.dir/gline_system.cpp.o.d"
+  "CMakeFiles/glocks_gline.dir/glock_unit.cpp.o"
+  "CMakeFiles/glocks_gline.dir/glock_unit.cpp.o.d"
+  "CMakeFiles/glocks_gline.dir/hier_glock_unit.cpp.o"
+  "CMakeFiles/glocks_gline.dir/hier_glock_unit.cpp.o.d"
+  "libglocks_gline.a"
+  "libglocks_gline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_gline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

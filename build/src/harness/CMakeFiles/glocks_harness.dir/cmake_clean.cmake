@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_harness.dir/auto_policy.cpp.o"
+  "CMakeFiles/glocks_harness.dir/auto_policy.cpp.o.d"
+  "CMakeFiles/glocks_harness.dir/cmp_system.cpp.o"
+  "CMakeFiles/glocks_harness.dir/cmp_system.cpp.o.d"
+  "CMakeFiles/glocks_harness.dir/multiprog.cpp.o"
+  "CMakeFiles/glocks_harness.dir/multiprog.cpp.o.d"
+  "CMakeFiles/glocks_harness.dir/report.cpp.o"
+  "CMakeFiles/glocks_harness.dir/report.cpp.o.d"
+  "CMakeFiles/glocks_harness.dir/runner.cpp.o"
+  "CMakeFiles/glocks_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/glocks_harness.dir/workload.cpp.o"
+  "CMakeFiles/glocks_harness.dir/workload.cpp.o.d"
+  "libglocks_harness.a"
+  "libglocks_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locks/clh_lock.cpp" "src/locks/CMakeFiles/glocks_locks.dir/clh_lock.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/clh_lock.cpp.o.d"
+  "/root/repo/src/locks/factory.cpp" "src/locks/CMakeFiles/glocks_locks.dir/factory.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/factory.cpp.o.d"
+  "/root/repo/src/locks/lock.cpp" "src/locks/CMakeFiles/glocks_locks.dir/lock.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/lock.cpp.o.d"
+  "/root/repo/src/locks/queue_locks.cpp" "src/locks/CMakeFiles/glocks_locks.dir/queue_locks.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/queue_locks.cpp.o.d"
+  "/root/repo/src/locks/reactive_lock.cpp" "src/locks/CMakeFiles/glocks_locks.dir/reactive_lock.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/reactive_lock.cpp.o.d"
+  "/root/repo/src/locks/special_locks.cpp" "src/locks/CMakeFiles/glocks_locks.dir/special_locks.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/special_locks.cpp.o.d"
+  "/root/repo/src/locks/spin_locks.cpp" "src/locks/CMakeFiles/glocks_locks.dir/spin_locks.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/spin_locks.cpp.o.d"
+  "/root/repo/src/locks/virtual_glock.cpp" "src/locks/CMakeFiles/glocks_locks.dir/virtual_glock.cpp.o" "gcc" "src/locks/CMakeFiles/glocks_locks.dir/virtual_glock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/glocks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glocks_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/glocks_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/glocks_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/glocks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/glocks_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

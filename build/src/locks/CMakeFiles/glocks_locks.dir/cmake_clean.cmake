@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_locks.dir/clh_lock.cpp.o"
+  "CMakeFiles/glocks_locks.dir/clh_lock.cpp.o.d"
+  "CMakeFiles/glocks_locks.dir/factory.cpp.o"
+  "CMakeFiles/glocks_locks.dir/factory.cpp.o.d"
+  "CMakeFiles/glocks_locks.dir/lock.cpp.o"
+  "CMakeFiles/glocks_locks.dir/lock.cpp.o.d"
+  "CMakeFiles/glocks_locks.dir/queue_locks.cpp.o"
+  "CMakeFiles/glocks_locks.dir/queue_locks.cpp.o.d"
+  "CMakeFiles/glocks_locks.dir/reactive_lock.cpp.o"
+  "CMakeFiles/glocks_locks.dir/reactive_lock.cpp.o.d"
+  "CMakeFiles/glocks_locks.dir/special_locks.cpp.o"
+  "CMakeFiles/glocks_locks.dir/special_locks.cpp.o.d"
+  "CMakeFiles/glocks_locks.dir/spin_locks.cpp.o"
+  "CMakeFiles/glocks_locks.dir/spin_locks.cpp.o.d"
+  "CMakeFiles/glocks_locks.dir/virtual_glock.cpp.o"
+  "CMakeFiles/glocks_locks.dir/virtual_glock.cpp.o.d"
+  "libglocks_locks.a"
+  "libglocks_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

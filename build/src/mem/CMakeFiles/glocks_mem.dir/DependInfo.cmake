@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/directory.cpp" "src/mem/CMakeFiles/glocks_mem.dir/directory.cpp.o" "gcc" "src/mem/CMakeFiles/glocks_mem.dir/directory.cpp.o.d"
+  "/root/repo/src/mem/hierarchy.cpp" "src/mem/CMakeFiles/glocks_mem.dir/hierarchy.cpp.o" "gcc" "src/mem/CMakeFiles/glocks_mem.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/mem/l1_cache.cpp" "src/mem/CMakeFiles/glocks_mem.dir/l1_cache.cpp.o" "gcc" "src/mem/CMakeFiles/glocks_mem.dir/l1_cache.cpp.o.d"
+  "/root/repo/src/mem/qolb.cpp" "src/mem/CMakeFiles/glocks_mem.dir/qolb.cpp.o" "gcc" "src/mem/CMakeFiles/glocks_mem.dir/qolb.cpp.o.d"
+  "/root/repo/src/mem/sync_buffer.cpp" "src/mem/CMakeFiles/glocks_mem.dir/sync_buffer.cpp.o" "gcc" "src/mem/CMakeFiles/glocks_mem.dir/sync_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/glocks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/glocks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/glocks_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_mem.dir/directory.cpp.o"
+  "CMakeFiles/glocks_mem.dir/directory.cpp.o.d"
+  "CMakeFiles/glocks_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/glocks_mem.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/glocks_mem.dir/l1_cache.cpp.o"
+  "CMakeFiles/glocks_mem.dir/l1_cache.cpp.o.d"
+  "CMakeFiles/glocks_mem.dir/qolb.cpp.o"
+  "CMakeFiles/glocks_mem.dir/qolb.cpp.o.d"
+  "CMakeFiles/glocks_mem.dir/sync_buffer.cpp.o"
+  "CMakeFiles/glocks_mem.dir/sync_buffer.cpp.o.d"
+  "libglocks_mem.a"
+  "libglocks_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_noc.dir/mesh.cpp.o"
+  "CMakeFiles/glocks_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/glocks_noc.dir/router.cpp.o"
+  "CMakeFiles/glocks_noc.dir/router.cpp.o.d"
+  "libglocks_noc.a"
+  "libglocks_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_power.dir/energy_model.cpp.o"
+  "CMakeFiles/glocks_power.dir/energy_model.cpp.o.d"
+  "libglocks_power.a"
+  "libglocks_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

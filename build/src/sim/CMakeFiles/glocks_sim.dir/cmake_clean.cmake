@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_sim.dir/engine.cpp.o"
+  "CMakeFiles/glocks_sim.dir/engine.cpp.o.d"
+  "libglocks_sim.a"
+  "libglocks_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_sync.dir/barrier.cpp.o"
+  "CMakeFiles/glocks_sync.dir/barrier.cpp.o.d"
+  "libglocks_sync.a"
+  "libglocks_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks-sweep.dir/glocks_sweep.cpp.o"
+  "CMakeFiles/glocks-sweep.dir/glocks_sweep.cpp.o.d"
+  "glocks-sweep"
+  "glocks-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks-sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocksim.dir/glocksim.cpp.o"
+  "CMakeFiles/glocksim.dir/glocksim.cpp.o.d"
+  "glocksim"
+  "glocksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_trace.dir/tracer.cpp.o"
+  "CMakeFiles/glocks_trace.dir/tracer.cpp.o.d"
+  "libglocks_trace.a"
+  "libglocks_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glocks_workloads.dir/apps.cpp.o"
+  "CMakeFiles/glocks_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/glocks_workloads.dir/micro.cpp.o"
+  "CMakeFiles/glocks_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/glocks_workloads.dir/registry.cpp.o"
+  "CMakeFiles/glocks_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/glocks_workloads.dir/trace_replay.cpp.o"
+  "CMakeFiles/glocks_workloads.dir/trace_replay.cpp.o.d"
+  "libglocks_workloads.a"
+  "libglocks_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glocks_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

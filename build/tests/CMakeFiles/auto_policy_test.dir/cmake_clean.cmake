@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_policy_test.dir/auto_policy_test.cpp.o"
+  "CMakeFiles/auto_policy_test.dir/auto_policy_test.cpp.o.d"
+  "auto_policy_test"
+  "auto_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

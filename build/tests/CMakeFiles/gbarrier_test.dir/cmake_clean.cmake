@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbarrier_test.dir/gbarrier_test.cpp.o"
+  "CMakeFiles/gbarrier_test.dir/gbarrier_test.cpp.o.d"
+  "gbarrier_test"
+  "gbarrier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbarrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gline_test.dir/gline_test.cpp.o"
+  "CMakeFiles/gline_test.dir/gline_test.cpp.o.d"
+  "gline_test"
+  "gline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_glock_test.dir/hier_glock_test.cpp.o"
+  "CMakeFiles/hier_glock_test.dir/hier_glock_test.cpp.o.d"
+  "hier_glock_test"
+  "hier_glock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_glock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_apps_test.dir/integration_apps_test.cpp.o"
+  "CMakeFiles/integration_apps_test.dir/integration_apps_test.cpp.o.d"
+  "integration_apps_test"
+  "integration_apps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_directory_edge_test.dir/mem_directory_edge_test.cpp.o"
+  "CMakeFiles/mem_directory_edge_test.dir/mem_directory_edge_test.cpp.o.d"
+  "mem_directory_edge_test"
+  "mem_directory_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_directory_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_property_test.dir/mem_property_test.cpp.o"
+  "CMakeFiles/mem_property_test.dir/mem_property_test.cpp.o.d"
+  "mem_property_test"
+  "mem_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_protocol_test.dir/mem_protocol_test.cpp.o"
+  "CMakeFiles/mem_protocol_test.dir/mem_protocol_test.cpp.o.d"
+  "mem_protocol_test"
+  "mem_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

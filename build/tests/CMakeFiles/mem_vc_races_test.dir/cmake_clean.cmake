@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_vc_races_test.dir/mem_vc_races_test.cpp.o"
+  "CMakeFiles/mem_vc_races_test.dir/mem_vc_races_test.cpp.o.d"
+  "mem_vc_races_test"
+  "mem_vc_races_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_vc_races_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

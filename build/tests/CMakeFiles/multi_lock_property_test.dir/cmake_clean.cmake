@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_lock_property_test.dir/multi_lock_property_test.cpp.o"
+  "CMakeFiles/multi_lock_property_test.dir/multi_lock_property_test.cpp.o.d"
+  "multi_lock_property_test"
+  "multi_lock_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_lock_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprog_test.dir/multiprog_test.cpp.o"
+  "CMakeFiles/multiprog_test.dir/multiprog_test.cpp.o.d"
+  "multiprog_test"
+  "multiprog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_vc_test.dir/noc_vc_test.cpp.o"
+  "CMakeFiles/noc_vc_test.dir/noc_vc_test.cpp.o.d"
+  "noc_vc_test"
+  "noc_vc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_vc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

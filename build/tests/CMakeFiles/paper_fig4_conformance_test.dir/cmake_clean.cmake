@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_fig4_conformance_test.dir/paper_fig4_conformance_test.cpp.o"
+  "CMakeFiles/paper_fig4_conformance_test.dir/paper_fig4_conformance_test.cpp.o.d"
+  "paper_fig4_conformance_test"
+  "paper_fig4_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_fig4_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qolb_test.dir/qolb_test.cpp.o"
+  "CMakeFiles/qolb_test.dir/qolb_test.cpp.o.d"
+  "qolb_test"
+  "qolb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qolb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

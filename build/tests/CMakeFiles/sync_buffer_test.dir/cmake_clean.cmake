@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_buffer_test.dir/sync_buffer_test.cpp.o"
+  "CMakeFiles/sync_buffer_test.dir/sync_buffer_test.cpp.o.d"
+  "sync_buffer_test"
+  "sync_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
