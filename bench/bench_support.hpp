@@ -3,8 +3,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/parallel_for.hpp"
 #include "harness/runner.hpp"
 #include "workloads/registry.hpp"
 
@@ -29,6 +31,38 @@ inline harness::RunResult run(const std::string& workload,
   harness::RunConfig cfg = paper_config(hc);
   cfg.cmp.num_cores = num_cores;
   return harness::run_workload(*wl, cfg);
+}
+
+/// Fans `n` independent simulations out across the job pool
+/// (GLOCKS_JOBS env or nproc workers) and returns the results in index
+/// order — every grid-shaped bench computes its whole grid up front and
+/// then prints sequentially, so stdout bytes match the old serial loops
+/// exactly.
+template <typename T>
+std::vector<T> run_grid(std::size_t n,
+                        const std::function<T(std::size_t)>& point) {
+  return exec::parallel_map<T>(n, exec::default_jobs(), point);
+}
+
+/// The fig08/09/10 shape: every registry workload under two
+/// highly-contended lock kinds at 32 cores, returned as
+/// {baseline, challenger} per registry entry (registry order).
+inline std::vector<std::pair<harness::RunResult, harness::RunResult>>
+run_registry_pairs(locks::LockKind baseline = locks::LockKind::kMcs,
+                   locks::LockKind challenger = locks::LockKind::kGlock,
+                   std::uint32_t num_cores = 32) {
+  const auto& reg = workloads::registry();
+  auto flat = run_grid<harness::RunResult>(
+      reg.size() * 2, [&](std::size_t i) {
+        return run(reg[i / 2].name, i % 2 == 0 ? baseline : challenger,
+                   num_cores);
+      });
+  std::vector<std::pair<harness::RunResult, harness::RunResult>> out;
+  out.reserve(reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    out.emplace_back(std::move(flat[2 * i]), std::move(flat[2 * i + 1]));
+  }
+  return out;
 }
 
 inline void print_header(const char* title) {

@@ -43,27 +43,39 @@ int main() {
   bench::print_header("Crossover: when does each lock win? "
                       "(SCTR, per-thread cost per critical section)");
 
+  // Both sweeps flattened into one (point x lock-kind) grid for the job
+  // pool; rows print afterwards in sweep order.
+  const locks::LockKind kinds[] = {locks::LockKind::kTatas,
+                                   locks::LockKind::kMcs,
+                                   locks::LockKind::kGlock};
+  const std::uint64_t thinks[] = {0ull, 200ull, 1000ull, 5000ull, 20000ull};
+  const std::uint32_t core_counts[] = {1u, 2u, 4u, 9u, 16u, 32u};
+  constexpr std::size_t kThinkRows = std::size(thinks);
+  const std::size_t total = (kThinkRows + std::size(core_counts)) * 3;
+  const auto costs = bench::run_grid<double>(total, [&](std::size_t i) {
+    const auto kind = kinds[i % 3];
+    const std::size_t row = i / 3;
+    return row < kThinkRows
+               ? per_cs_cycles(kind, 32, thinks[row])
+               : per_cs_cycles(kind, core_counts[row - kThinkRows], 0);
+  });
+
   std::printf("\nsweep 1: think time between CSs (32 cores)\n");
   std::printf("%-10s %10s %10s %10s\n", "think", "tatas", "mcs", "glock");
-  for (const std::uint64_t think : {0ull, 200ull, 1000ull, 5000ull,
-                                    20000ull}) {
-    std::printf("%-10llu", static_cast<unsigned long long>(think));
-    for (const auto kind :
-         {locks::LockKind::kTatas, locks::LockKind::kMcs,
-          locks::LockKind::kGlock}) {
-      std::printf(" %10.0f", per_cs_cycles(kind, 32, think));
+  for (std::size_t row = 0; row < kThinkRows; ++row) {
+    std::printf("%-10llu", static_cast<unsigned long long>(thinks[row]));
+    for (std::size_t k = 0; k < 3; ++k) {
+      std::printf(" %10.0f", costs[row * 3 + k]);
     }
     std::printf("\n");
   }
 
   std::printf("\nsweep 2: contending cores (no think time)\n");
   std::printf("%-10s %10s %10s %10s\n", "cores", "tatas", "mcs", "glock");
-  for (const std::uint32_t cores : {1u, 2u, 4u, 9u, 16u, 32u}) {
-    std::printf("%-10u", cores);
-    for (const auto kind :
-         {locks::LockKind::kTatas, locks::LockKind::kMcs,
-          locks::LockKind::kGlock}) {
-      std::printf(" %10.0f", per_cs_cycles(kind, cores, 0));
+  for (std::size_t row = 0; row < std::size(core_counts); ++row) {
+    std::printf("%-10u", core_counts[row]);
+    for (std::size_t k = 0; k < 3; ++k) {
+      std::printf(" %10.0f", costs[(kThinkRows + row) * 3 + k]);
     }
     std::printf("\n");
   }

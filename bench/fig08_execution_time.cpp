@@ -14,10 +14,12 @@ int main() {
   std::printf("%-7s %-4s %8s %8s  %6s %6s %6s %6s\n", "bench", "cfg",
               "cycles", "norm", "busy", "mem", "barr", "lock");
 
+  const auto pairs = bench::run_registry_pairs();
+
   std::vector<double> micro_norm, app_norm;
-  for (const auto& entry : workloads::registry()) {
-    const auto mcs = bench::run(entry.name, locks::LockKind::kMcs);
-    const auto gl = bench::run(entry.name, locks::LockKind::kGlock);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& entry = workloads::registry()[i];
+    const auto& [mcs, gl] = pairs[i];
     const double norm = static_cast<double>(gl.cycles) /
                         static_cast<double>(mcs.cycles);
     for (const auto* r : {&mcs, &gl}) {

@@ -13,10 +13,12 @@ int main() {
   std::printf("%-7s %-4s %12s %8s  %8s %8s %8s\n", "bench", "cfg", "bytes",
               "norm", "coher", "request", "reply");
 
+  const auto pairs = bench::run_registry_pairs();
+
   std::vector<double> micro_norm, app_norm;
-  for (const auto& entry : workloads::registry()) {
-    const auto mcs = bench::run(entry.name, locks::LockKind::kMcs);
-    const auto gl = bench::run(entry.name, locks::LockKind::kGlock);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& entry = workloads::registry()[i];
+    const auto& [mcs, gl] = pairs[i];
     const double base = static_cast<double>(mcs.traffic.total_bytes());
     for (const auto* r : {&mcs, &gl}) {
       const auto& tr = r->traffic;

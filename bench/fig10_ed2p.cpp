@@ -14,10 +14,12 @@ int main() {
   std::printf("%-7s %10s %10s %8s   %s\n", "bench", "E(uJ) MCS", "E(uJ) GL",
               "ED2P", "(GL normalized to MCS)");
 
+  const auto pairs = bench::run_registry_pairs();
+
   std::vector<double> micro_norm, app_norm;
-  for (const auto& entry : workloads::registry()) {
-    const auto mcs = bench::run(entry.name, locks::LockKind::kMcs);
-    const auto gl = bench::run(entry.name, locks::LockKind::kGlock);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& entry = workloads::registry()[i];
+    const auto& [mcs, gl] = pairs[i];
     const double norm = gl.ed2p / mcs.ed2p;
     std::printf("%-7s %10.2f %10.2f %8.3f\n", entry.name.c_str(),
                 mcs.energy.total() / 1e6, gl.energy.total() / 1e6, norm);

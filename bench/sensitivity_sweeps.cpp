@@ -5,6 +5,7 @@
 // everywhere — the advantage is structural (lock traffic leaves the
 // coherence fabric), not an artifact of one configuration.
 #include <cstdio>
+#include <vector>
 
 #include "bench_support.hpp"
 #include "workloads/micro.hpp"
@@ -13,18 +14,12 @@ namespace {
 
 using namespace glocks;
 
-double ratio_at(const CmpConfig& machine) {
-  double cycles[2] = {0, 0};
-  int i = 0;
-  for (const auto kind :
-       {locks::LockKind::kMcs, locks::LockKind::kGlock}) {
-    workloads::SingleCounter wl;
-    harness::RunConfig cfg;
-    cfg.cmp = machine;
-    cfg.policy.highly_contended = kind;
-    cycles[i++] = static_cast<double>(harness::run_workload(wl, cfg).cycles);
-  }
-  return cycles[1] / cycles[0];
+double run_sctr_cycles(const CmpConfig& machine, locks::LockKind kind) {
+  workloads::SingleCounter wl;
+  harness::RunConfig cfg;
+  cfg.cmp = machine;
+  cfg.policy.highly_contended = kind;
+  return static_cast<double>(harness::run_workload(wl, cfg).cycles);
 }
 
 }  // namespace
@@ -34,35 +29,50 @@ int main() {
   bench::print_header("Sensitivity: GL/MCS time ratio on SCTR across "
                       "machine parameters");
 
-  std::printf("\nmemory latency (cycles):\n");
+  // Build the whole machine grid first, then run every (machine, lock)
+  // point — two per machine — through the job pool at once.
+  struct Point {
+    const char* group;
+    unsigned long long value;
+    CmpConfig machine;
+  };
+  std::vector<Point> points;
   for (const Cycle ml : {100u, 200u, 400u, 800u}) {
     CmpConfig m;
     m.memory_latency = ml;
-    std::printf("  %4llu: GL/MCS = %.3f\n",
-                static_cast<unsigned long long>(ml), ratio_at(m));
+    points.push_back({"memory latency (cycles):", ml, m});
   }
-
-  std::printf("\nL2 tag latency (cycles):\n");
   for (const Cycle tl : {6u, 12u, 24u}) {
     CmpConfig m;
     m.l2.tag_latency = tl;
-    std::printf("  %4llu: GL/MCS = %.3f\n",
-                static_cast<unsigned long long>(tl), ratio_at(m));
+    points.push_back({"L2 tag latency (cycles):", tl, m});
   }
-
-  std::printf("\nmesh link latency (cycles):\n");
   for (const Cycle ll : {1u, 2u, 4u}) {
     CmpConfig m;
     m.noc.link_latency = ll;
-    std::printf("  %4llu: GL/MCS = %.3f\n",
-                static_cast<unsigned long long>(ll), ratio_at(m));
+    points.push_back({"mesh link latency (cycles):", ll, m});
   }
-
-  std::printf("\ncore count:\n");
   for (const std::uint32_t c : {8u, 16u, 32u, 49u}) {
     CmpConfig m;
     m.num_cores = c;
-    std::printf("  %4u: GL/MCS = %.3f\n", c, ratio_at(m));
+    points.push_back({"core count:", c, m});
+  }
+
+  const auto cycles = bench::run_grid<double>(
+      points.size() * 2, [&](std::size_t i) {
+        return run_sctr_cycles(points[i / 2].machine,
+                               i % 2 == 0 ? locks::LockKind::kMcs
+                                          : locks::LockKind::kGlock);
+      });
+
+  const char* group = "";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].group != group) {
+      group = points[i].group;
+      std::printf("\n%s\n", group);
+    }
+    std::printf("  %4llu: GL/MCS = %.3f\n", points[i].value,
+                cycles[2 * i + 1] / cycles[2 * i]);
   }
 
   std::printf("\n(the ratio should stay < 1 at every point, improving "

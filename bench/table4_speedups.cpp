@@ -11,18 +11,32 @@ int main() {
   std::printf("%-9s %-5s %8s %8s %8s %8s\n", "bench", "lock", "4", "8",
               "16", "32");
 
-  for (const auto& name : workloads::application_names()) {
-    for (const locks::LockKind kind :
-         {locks::LockKind::kMcs, locks::LockKind::kGlock}) {
-      const auto t1 = bench::run(name, kind, 1);
+  // Full (application x lock x core-count) grid, one independent
+  // simulation per point, fanned out across the job pool.
+  const auto apps = workloads::application_names();
+  const locks::LockKind kinds[] = {locks::LockKind::kMcs,
+                                   locks::LockKind::kGlock};
+  const std::uint32_t core_counts[] = {1u, 4u, 8u, 16u, 32u};
+  constexpr std::size_t kCols = std::size(core_counts);
+  const auto cycles = bench::run_grid<double>(
+      apps.size() * std::size(kinds) * kCols, [&](std::size_t i) {
+        const auto& name = apps[i / (std::size(kinds) * kCols)];
+        const auto kind = kinds[i / kCols % std::size(kinds)];
+        return static_cast<double>(
+            bench::run(name, kind, core_counts[i % kCols]).cycles);
+      });
+
+  std::size_t row = 0;
+  for (const auto& name : apps) {
+    for (const locks::LockKind kind : kinds) {
+      const double* t = &cycles[row * kCols];
       std::printf("%-9s %-5s ", name.c_str(),
                   kind == locks::LockKind::kMcs ? "MCS" : "GL");
-      for (const std::uint32_t cores : {4u, 8u, 16u, 32u}) {
-        const auto tn = bench::run(name, kind, cores);
-        std::printf("%8.2f ", static_cast<double>(t1.cycles) /
-                                  static_cast<double>(tn.cycles));
+      for (std::size_t c = 1; c < kCols; ++c) {
+        std::printf("%8.2f ", t[0] / t[c]);
       }
       std::printf("\n");
+      ++row;
     }
   }
   std::printf("\n(paper at 32 cores: RAYTR 20.69/28.78, OCEAN 23.62/25.66, "

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the run-level parallelism subsystem.
+#
+# The simulator itself is single-threaded per run (one Engine, fixed tick
+# order); threads only exist in src/exec, which fans independent runs out
+# across workers. This script builds the suites that exercise those
+# threads under -DGLOCKS_SANITIZE=thread and runs them:
+#
+#   exec_pool_test    pool/queue/emitter semantics
+#   determinism_test  parallel sweeps byte-identical to serial
+#   soak_test         whole machines running concurrently on pool threads
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DGLOCKS_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target exec_pool_test determinism_test soak_test
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+      -R '^(exec_pool_test|determinism_test|soak_test)$'
+echo "TSan check passed."

@@ -1,0 +1,89 @@
+#include "exec/job_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace glocks::exec {
+
+unsigned default_jobs() {
+  if (const char* env = std::getenv("GLOCKS_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+JobPool::JobPool(unsigned jobs, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 2 * std::max(jobs, 1u)
+                                    : queue_capacity) {
+  const unsigned n = std::max(jobs, 1u);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void JobPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    space_ready_.wait(lk, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(Item{next_id_++, std::move(job)});
+  }
+  work_ready_.notify_one();
+}
+
+void JobPool::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void JobPool::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_ready_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    space_ready_.notify_one();
+
+    std::exception_ptr error;
+    try {
+      item.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (error && (!first_error_ || item.id < first_error_id_)) {
+        first_error_ = error;
+        first_error_id_ = item.id;
+      }
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace glocks::exec

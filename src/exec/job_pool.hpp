@@ -1,0 +1,80 @@
+// Run-level parallelism: a bounded worker pool that fans *independent*
+// simulations out across OS threads. Each simulated run owns its whole
+// machine (Engine, CmpSystem, Tracer), so nothing is shared between jobs
+// and per-run determinism is untouched; see the "Determinism contract"
+// section of docs/simulation_model.md. Capping in-flight jobs at a
+// configurable count (instead of one thread per grid point) avoids the
+// oversubscription collapse described in Dice & Kogan, "Avoiding
+// Scalability Collapse by Restricting Concurrency".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace glocks::exec {
+
+/// The `--jobs` default: the GLOCKS_JOBS environment variable when set
+/// (and >= 1), otherwise std::thread::hardware_concurrency(), never 0.
+unsigned default_jobs();
+
+/// A fixed-size worker pool with a bounded submission queue.
+///
+///   JobPool pool(4);
+///   for (...) pool.submit([&] { ... });   // blocks while the queue is full
+///   pool.wait();                          // drains; rethrows first failure
+///
+/// `submit` applies backpressure: when `queue_capacity` jobs are already
+/// queued it blocks the producer instead of buffering unboundedly.
+/// Exceptions escaping a job are captured per job; `wait()` rethrows the
+/// one from the earliest-submitted failed job (later ones are dropped)
+/// and leaves the pool reusable. The destructor drains outstanding work
+/// and swallows any unclaimed exception.
+class JobPool {
+ public:
+  /// Spawns `jobs` workers (at least 1). `queue_capacity` 0 means 2*jobs.
+  explicit JobPool(unsigned jobs, std::size_t queue_capacity = 0);
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  /// Enqueues a job; blocks while the queue is at capacity.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// exception of the earliest-submitted job that failed, if any.
+  void wait();
+
+  unsigned jobs() const { return static_cast<unsigned>(workers_.size()); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+ private:
+  struct Item {
+    std::uint64_t id = 0;  ///< submission order, for exception priority
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;   ///< queue gained an item / stopping
+  std::condition_variable space_ready_;  ///< queue lost an item
+  std::condition_variable idle_;         ///< all submitted work retired
+  std::deque<Item> queue_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t next_id_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::uint64_t first_error_id_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace glocks::exec

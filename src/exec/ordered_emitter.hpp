@@ -1,0 +1,58 @@
+// Deterministic streaming output for parallel producers: rows are handed
+// in tagged with their grid index and written strictly in index order.
+// The contiguous prefix flushes as soon as it is complete, so partial
+// output of an interrupted sweep is still usable, and no two rows ever
+// interleave mid-line.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace glocks::exec {
+
+class OrderedEmitter {
+ public:
+  /// Will emit exactly `total` chunks, indexed [0, total).
+  OrderedEmitter(std::ostream& os, std::size_t total)
+      : os_(os), pending_(total), present_(total, false) {}
+
+  /// Hands over chunk `index` (each index exactly once). Thread-safe;
+  /// writes every chunk of the now-complete prefix and flushes.
+  void emit(std::size_t index, std::string text) {
+    std::lock_guard<std::mutex> lk(mu_);
+    GLOCKS_CHECK(index < pending_.size(),
+                 "OrderedEmitter index " << index << " out of range");
+    GLOCKS_CHECK(!present_[index] && index >= next_,
+                 "OrderedEmitter index " << index << " emitted twice");
+    pending_[index] = std::move(text);
+    present_[index] = true;
+    bool wrote = false;
+    while (next_ < pending_.size() && present_[next_]) {
+      os_ << pending_[next_];
+      pending_[next_].clear();  // row is written; free it eagerly
+      ++next_;
+      wrote = true;
+    }
+    if (wrote) os_.flush();
+  }
+
+  /// Chunks written to the stream so far (the complete prefix).
+  std::size_t flushed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_;
+  }
+
+ private:
+  std::ostream& os_;
+  mutable std::mutex mu_;
+  std::size_t next_ = 0;
+  std::vector<std::string> pending_;
+  std::vector<bool> present_;
+};
+
+}  // namespace glocks::exec

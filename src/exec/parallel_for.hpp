@@ -1,0 +1,49 @@
+// Index-space fan-out on top of raw threads: run body(0..count-1) with at
+// most `jobs` in flight, results addressed by index so output order never
+// depends on completion order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/job_pool.hpp"
+
+namespace glocks::exec {
+
+/// Executes `body(i)` for every i in [0, count) across up to `jobs`
+/// threads. jobs <= 1 runs strictly serially on the calling thread (the
+/// degenerate case is bit-for-bit the plain loop). Indices are handed
+/// out in order; if any invocation throws, the exception of the LOWEST
+/// failing index is rethrown after all started work retires.
+class ParallelFor {
+ public:
+  explicit ParallelFor(unsigned jobs = default_jobs()) : jobs_(jobs) {}
+
+  void operator()(std::size_t count,
+                  const std::function<void(std::size_t)>& body) const;
+
+  unsigned jobs() const { return jobs_; }
+
+ private:
+  unsigned jobs_;
+};
+
+/// Free-function shorthand for a one-shot ParallelFor.
+inline void parallel_for(std::size_t count, unsigned jobs,
+                         const std::function<void(std::size_t)>& body) {
+  ParallelFor{jobs}(count, body);
+}
+
+/// Maps fn over [0, count) and collects the results in index order —
+/// deterministic output for any jobs value. T must be default- and
+/// move-constructible.
+template <typename T>
+std::vector<T> parallel_map(std::size_t count, unsigned jobs,
+                            const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(count);
+  parallel_for(count, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace glocks::exec

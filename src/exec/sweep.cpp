@@ -1,0 +1,70 @@
+#include "exec/sweep.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "exec/ordered_emitter.hpp"
+#include "exec/parallel_for.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "workloads/registry.hpp"
+
+namespace glocks::exec {
+
+namespace {
+
+struct GridPoint {
+  std::string workload;
+  locks::LockKind kind;
+  std::uint32_t cores;
+  std::uint64_t seed;
+};
+
+std::vector<GridPoint> expand(const SweepSpec& spec) {
+  std::vector<GridPoint> grid;
+  grid.reserve(sweep_size(spec));
+  for (const auto& w : spec.workloads) {
+    for (const auto k : spec.lock_kinds) {
+      for (const auto c : spec.core_counts) {
+        for (const auto s : spec.seeds) grid.push_back({w, k, c, s});
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+std::size_t sweep_size(const SweepSpec& spec) {
+  return spec.workloads.size() * spec.lock_kinds.size() *
+         spec.core_counts.size() * spec.seeds.size();
+}
+
+void run_sweep(const SweepSpec& spec, std::ostream& os) {
+  GLOCKS_CHECK(sweep_size(spec) > 0,
+               "empty sweep grid: every axis needs at least one value");
+  const std::vector<GridPoint> grid = expand(spec);
+
+  os << "cores,seed,";
+  harness::write_csv_header(os);
+  os.flush();
+
+  OrderedEmitter emitter(os, grid.size());
+  // Each grid point builds its own machine inside run_workload — no
+  // simulator state crosses threads; only the rendered row does.
+  parallel_for(grid.size(), spec.jobs, [&](std::size_t i) {
+    const GridPoint& p = grid[i];
+    harness::RunConfig cfg;
+    cfg.cmp.num_cores = p.cores;
+    cfg.policy.highly_contended = p.kind;
+    cfg.seed = p.seed;
+    auto wl = workloads::make_workload(p.workload, spec.scale);
+    const auto r = harness::run_workload(*wl, cfg);
+    std::ostringstream row;
+    row << p.cores << ',' << p.seed << ',';
+    harness::write_csv_row(r, row);
+    emitter.emit(i, row.str());
+  });
+}
+
+}  // namespace glocks::exec

@@ -1,0 +1,36 @@
+// The sweep grid: every (workload x lock kind x core count x seed)
+// combination run as an independent simulation and emitted as one CSV
+// row. The grid is flattened in loop-nest order (workload outermost,
+// seed innermost) and rows are written in that order regardless of which
+// worker finishes first, so the CSV is byte-identical for any --jobs
+// value; tests/determinism_test.cpp asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "locks/factory.hpp"
+
+namespace glocks::exec {
+
+struct SweepSpec {
+  std::vector<std::string> workloads;
+  std::vector<locks::LockKind> lock_kinds;
+  std::vector<std::uint32_t> core_counts;
+  std::vector<std::uint64_t> seeds = {1};
+  double scale = 1.0;
+  unsigned jobs = 1;  ///< worker threads; 1 = strictly serial
+};
+
+/// Number of grid points (rows) the spec expands to.
+std::size_t sweep_size(const SweepSpec& spec);
+
+/// Runs the whole grid and streams the CSV (header, then one row per
+/// point prefixed with `cores` and `seed` columns) to `os`. Rows appear
+/// as the complete grid prefix finishes — never interleaved, always in
+/// grid order. Throws on the first failing run (lowest grid index).
+void run_sweep(const SweepSpec& spec, std::ostream& os);
+
+}  // namespace glocks::exec

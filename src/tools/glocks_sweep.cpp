@@ -1,27 +1,32 @@
 // glocks-sweep — batch experiment runner producing one CSV table.
 //
 //   glocks-sweep --workloads SCTR,RAYTR --locks mcs,glock --cores 8,16,32
-//   glocks-sweep --all --locks mcs,glock > results.csv
+//   glocks-sweep --all --locks mcs,glock --jobs 8 > results.csv
 //
 // Flags:
 //   --workloads A,B,...   benchmarks to run (--all = every registry entry)
 //   --locks a,b,...       highly-contended lock kinds      [mcs,glock]
 //   --cores n1,n2,...     core counts                      [32]
 //   --scale X             input scale in (0,1]             [1.0]
-//   --seed N              workload seed                    [1]
+//   --seeds n1,n2,...     workload seeds (--seed N works too)  [1]
+//   --jobs N              simulations run concurrently     [nproc]
 //   --all                 shorthand for every workload
 //
-// Output: the report CSV header plus one row per (workload, lock, cores),
-// with a `cores` column prepended. Rows stream as they finish, so partial
-// output is usable.
+// Output: the report CSV header plus one row per
+// (workload, lock, cores, seed), with `cores` and `seed` columns
+// prepended. Every run is an independent simulation with its own
+// machine, so runs parallelize freely across --jobs worker threads; rows
+// stream as the leading edge of the grid completes and are always
+// emitted in grid order, so the CSV bytes are identical for any --jobs
+// value (tests/determinism_test.cpp holds us to that).
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
+#include "exec/job_pool.hpp"
+#include "exec/sweep.hpp"
 #include "tools/args.hpp"
 #include "workloads/registry.hpp"
 
@@ -45,44 +50,51 @@ int main(int argc, char** argv) {
   try {
     const tools::Args args(argc, argv, {"all"});
 
-    std::vector<std::string> workloads;
+    exec::SweepSpec spec;
     if (args.has("all")) {
-      workloads = [] {
-        std::vector<std::string> names;
-        for (const auto& e : workloads::registry()) names.push_back(e.name);
-        return names;
-      }();
+      for (const auto& e : workloads::registry()) {
+        spec.workloads.push_back(e.name);
+      }
     } else {
-      workloads = split(args.get("workloads"));
+      spec.workloads = split(args.get("workloads"));
     }
-    GLOCKS_CHECK(!workloads.empty(),
+    GLOCKS_CHECK(!spec.workloads.empty(),
                  "nothing to run: pass --workloads or --all");
 
-    const auto lock_names = split(args.get("locks", "mcs,glock"));
-    const auto core_lists = split(args.get("cores", "32"));
-    const double scale = args.get_double("scale", 1.0);
-    const std::uint64_t seed = args.get_u64("seed", 1);
-
-    std::cout << "cores,";
-    harness::write_csv_header(std::cout);
-    for (const auto& wname : workloads) {
-      for (const auto& lname : lock_names) {
-        const auto kind = locks::parse_lock_kind(lname);
-        GLOCKS_CHECK(kind.has_value(), "unknown lock kind " << lname);
-        for (const auto& cstr : core_lists) {
-          harness::RunConfig cfg;
-          cfg.cmp.num_cores =
-              static_cast<std::uint32_t>(std::stoul(cstr));
-          cfg.policy.highly_contended = *kind;
-          cfg.seed = seed;
-          auto wl = workloads::make_workload(wname, scale);
-          const auto r = harness::run_workload(*wl, cfg);
-          std::cout << cfg.cmp.num_cores << ",";
-          harness::write_csv_row(r, std::cout);
-          std::cout.flush();
-        }
-      }
+    for (const auto& lname : split(args.get("locks", "mcs,glock"))) {
+      const auto kind = locks::parse_lock_kind(lname);
+      GLOCKS_CHECK(kind.has_value(), "unknown lock kind " << lname);
+      spec.lock_kinds.push_back(*kind);
     }
+    for (const auto& cstr : split(args.get("cores", "32"))) {
+      spec.core_counts.push_back(
+          static_cast<std::uint32_t>(std::stoul(cstr)));
+    }
+    spec.scale = args.get_double("scale", 1.0);
+
+    // --seeds takes a comma list so seed replication parallelizes like
+    // any other grid axis; --seed is the single-value spelling.
+    GLOCKS_CHECK(!(args.has("seed") && args.has("seeds")),
+                 "pass --seed or --seeds, not both");
+    if (args.has("seeds")) {
+      spec.seeds.clear();
+      for (const auto& sstr : split(args.get("seeds"))) {
+        GLOCKS_CHECK(
+            sstr.find_first_not_of("0123456789") == std::string::npos,
+            "--seeds expects comma-separated integers, got '" << sstr
+                                                              << "'");
+        spec.seeds.push_back(std::stoull(sstr));
+      }
+      GLOCKS_CHECK(!spec.seeds.empty(), "--seeds needs at least one seed");
+    } else {
+      spec.seeds = {args.get_u64("seed", 1)};
+    }
+
+    spec.jobs = static_cast<unsigned>(
+        args.get_u64("jobs", exec::default_jobs()));
+    GLOCKS_CHECK(spec.jobs >= 1, "--jobs must be >= 1");
+
+    exec::run_sweep(spec, std::cout);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "glocks-sweep: %s\n", e.what());

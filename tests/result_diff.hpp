@@ -1,0 +1,101 @@
+// Field-by-field RunResult comparison for the determinism tests: on
+// mismatch, reports the FIRST differing field with both values, so a
+// determinism failure says "dir.forwards_sent: 120 != 121" instead of a
+// bare struct inequality.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hpp"
+
+namespace glocks::test {
+
+/// Returns "" when `a` and `b` are bit-identical in every reported
+/// metric, else a one-line description of the first differing field.
+/// Doubles are compared exactly on purpose: the determinism contract
+/// (docs/simulation_model.md) promises bit-identical results, and both
+/// runs execute the same arithmetic in the same order.
+inline std::string diff_results(const harness::RunResult& a,
+                                const harness::RunResult& b) {
+  std::ostringstream os;
+#define GLOCKS_DIFF_FIELD(expr)                                     \
+  do {                                                              \
+    if (a.expr != b.expr) {                                         \
+      os << #expr << ": " << a.expr << " != " << b.expr;            \
+      return os.str();                                              \
+    }                                                               \
+  } while (0)
+
+  GLOCKS_DIFF_FIELD(workload);
+  GLOCKS_DIFF_FIELD(hc_lock_kind);
+  GLOCKS_DIFF_FIELD(cycles);
+  for (std::size_t i = 0; i < core::kNumCategories; ++i) {
+    GLOCKS_DIFF_FIELD(category_cycles[i]);
+  }
+  GLOCKS_DIFF_FIELD(uops);
+  GLOCKS_DIFF_FIELD(gline_spin_cycles);
+
+  for (const auto cls : {noc::MsgClass::kCoherence, noc::MsgClass::kRequest,
+                         noc::MsgClass::kReply}) {
+    GLOCKS_DIFF_FIELD(traffic.bytes(cls));
+    GLOCKS_DIFF_FIELD(traffic.packets(cls));
+    GLOCKS_DIFF_FIELD(traffic.hops(cls));
+  }
+
+  GLOCKS_DIFF_FIELD(l1.loads);
+  GLOCKS_DIFF_FIELD(l1.stores);
+  GLOCKS_DIFF_FIELD(l1.amos);
+  GLOCKS_DIFF_FIELD(l1.hits);
+  GLOCKS_DIFF_FIELD(l1.misses);
+  GLOCKS_DIFF_FIELD(l1.upgrades);
+  GLOCKS_DIFF_FIELD(l1.writebacks);
+  GLOCKS_DIFF_FIELD(l1.invalidations_received);
+  GLOCKS_DIFF_FIELD(l1.forwards_served);
+
+  GLOCKS_DIFF_FIELD(dir.gets);
+  GLOCKS_DIFF_FIELD(dir.getx);
+  GLOCKS_DIFF_FIELD(dir.upgrades);
+  GLOCKS_DIFF_FIELD(dir.putm);
+  GLOCKS_DIFF_FIELD(dir.stale_putm);
+  GLOCKS_DIFF_FIELD(dir.invalidations_sent);
+  GLOCKS_DIFF_FIELD(dir.forwards_sent);
+  GLOCKS_DIFF_FIELD(dir.l2_hits);
+  GLOCKS_DIFF_FIELD(dir.l2_misses);
+  GLOCKS_DIFF_FIELD(dir.memory_fetches);
+  GLOCKS_DIFF_FIELD(dir.memory_writebacks);
+  GLOCKS_DIFF_FIELD(dir.deferred_requests);
+
+  GLOCKS_DIFF_FIELD(gline.signals);
+  GLOCKS_DIFF_FIELD(gline.local_flags);
+  GLOCKS_DIFF_FIELD(gline.acquires_granted);
+  GLOCKS_DIFF_FIELD(gline.releases);
+  GLOCKS_DIFF_FIELD(gline.secondary_passes);
+
+  GLOCKS_DIFF_FIELD(energy.cores);
+  GLOCKS_DIFF_FIELD(energy.l1);
+  GLOCKS_DIFF_FIELD(energy.l2_dir);
+  GLOCKS_DIFF_FIELD(energy.network);
+  GLOCKS_DIFF_FIELD(energy.memory);
+  GLOCKS_DIFF_FIELD(energy.gline);
+  GLOCKS_DIFF_FIELD(energy.leakage);
+  GLOCKS_DIFF_FIELD(ed2p);
+
+  GLOCKS_DIFF_FIELD(lock_census.size());
+  for (std::size_t i = 0; i < a.lock_census.size(); ++i) {
+    GLOCKS_DIFF_FIELD(lock_census[i].name);
+    GLOCKS_DIFF_FIELD(lock_census[i].acquires);
+    GLOCKS_DIFF_FIELD(lock_census[i].jain_fairness);
+    GLOCKS_DIFF_FIELD(lock_census[i].min_thread_acquires);
+    GLOCKS_DIFF_FIELD(lock_census[i].max_thread_acquires);
+    GLOCKS_DIFF_FIELD(lock_census[i].census.max_bin());
+    for (std::uint32_t bin = 0; bin <= a.lock_census[i].census.max_bin();
+         ++bin) {
+      GLOCKS_DIFF_FIELD(lock_census[i].census.count(bin));
+    }
+  }
+#undef GLOCKS_DIFF_FIELD
+  return "";
+}
+
+}  // namespace glocks::test

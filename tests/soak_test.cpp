@@ -4,12 +4,18 @@
 // protocol churn. Each run checks mutual exclusion canaries, counter
 // sums, and full drain. This is the regression net for the protocol
 // races the virtual-channel work surfaced.
+//
+// The runs also execute under exec::JobPool: each soak owns its whole
+// machine, so concurrent runs on pool threads must produce the same
+// cycle counts as serial ones — the suite stays meaningful (and small
+// enough to be quick) under ThreadSanitizer.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exec/job_pool.hpp"
 #include "harness/cmp_system.hpp"
 #include "harness/workload.hpp"
 #include "locks/factory.hpp"
@@ -67,15 +73,19 @@ struct SoakWorld {
   }
 };
 
-struct SoakParams {
-  std::uint64_t seed;
-  std::uint32_t cores;
+/// Everything one soak run produces; asserted by the caller so the same
+/// soak can run directly or on a job-pool thread.
+struct SoakOutcome {
+  Cycle cycles = 0;
+  int violations = 0;
+  bool quiescent = false;
+  std::vector<std::string> lock_kinds;
+  std::vector<Word> expected;
+  std::vector<Word> observed;           ///< coherent counter values
+  std::vector<std::uint64_t> acquires;  ///< per-lock census
 };
 
-class Soak : public ::testing::TestWithParam<SoakParams> {};
-
-TEST_P(Soak, MixedFabricChurnStaysCoherent) {
-  const auto [seed, cores] = GetParam();
+SoakOutcome run_soak(std::uint64_t seed, std::uint32_t cores) {
   CmpConfig cfg;
   cfg.num_cores = cores;
   cfg.l1.size_bytes = 2 * 1024;        // brutal: constant evictions
@@ -136,16 +146,41 @@ TEST_P(Soak, MixedFabricChurnStaysCoherent) {
     sys.core(c).bind(c, cores, sys.hierarchy().l1(c),
                      [&world](ThreadApi& t) { return world.body(t); });
   }
-  sys.run();
 
-  EXPECT_EQ(world.violations, 0);
+  SoakOutcome out;
+  out.cycles = sys.run();
+  out.violations = world.violations;
+  out.quiescent = sys.hierarchy().quiescent();
+  out.expected = world.expected;
   for (std::size_t i = 0; i < world.locks.size(); ++i) {
-    EXPECT_EQ(sys.hierarchy().coherent_peek(world.counters[i]),
-              world.expected[i])
-        << "lock " << i << " (" << world.locks[i]->kind_name() << ")";
-    EXPECT_EQ(world.locks[i]->stats().acquires, world.expected[i]);
+    out.lock_kinds.emplace_back(world.locks[i]->kind_name());
+    out.observed.push_back(
+        sys.hierarchy().coherent_peek(world.counters[i]));
+    out.acquires.push_back(world.locks[i]->stats().acquires);
   }
-  EXPECT_TRUE(sys.hierarchy().quiescent());
+  return out;
+}
+
+void expect_clean(const SoakOutcome& out) {
+  EXPECT_EQ(out.violations, 0);
+  for (std::size_t i = 0; i < out.observed.size(); ++i) {
+    EXPECT_EQ(out.observed[i], out.expected[i])
+        << "lock " << i << " (" << out.lock_kinds[i] << ")";
+    EXPECT_EQ(out.acquires[i], out.expected[i]);
+  }
+  EXPECT_TRUE(out.quiescent);
+}
+
+struct SoakParams {
+  std::uint64_t seed;
+  std::uint32_t cores;
+};
+
+class Soak : public ::testing::TestWithParam<SoakParams> {};
+
+TEST_P(Soak, MixedFabricChurnStaysCoherent) {
+  const auto [seed, cores] = GetParam();
+  expect_clean(run_soak(seed, cores));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -159,6 +194,35 @@ INSTANTIATE_TEST_SUITE_P(
       return "s" + std::to_string(info.param.seed) + "_c" +
              std::to_string(info.param.cores);
     });
+
+// The job-pool variant: several whole-machine soaks in flight at once.
+// Config sizes stay small so the test remains quick under TSan, which
+// is where this test earns its keep — it is the only suite driving the
+// full simulator from concurrent threads.
+TEST(SoakPool, ConcurrentSoaksMatchSerialBitForBit) {
+  const SoakParams grid[] = {{1, 9}, {2, 9}, {9, 12}, {10, 7}};
+
+  std::vector<SoakOutcome> serial;
+  for (const auto& p : grid) serial.push_back(run_soak(p.seed, p.cores));
+
+  std::vector<SoakOutcome> pooled(std::size(grid));
+  exec::JobPool pool(4);
+  for (std::size_t i = 0; i < std::size(grid); ++i) {
+    pool.submit([&pooled, &grid, i] {
+      pooled[i] = run_soak(grid[i].seed, grid[i].cores);
+    });
+  }
+  pool.wait();
+
+  for (std::size_t i = 0; i < std::size(grid); ++i) {
+    expect_clean(pooled[i]);
+    EXPECT_EQ(pooled[i].cycles, serial[i].cycles)
+        << "seed " << grid[i].seed
+        << ": a pool thread changed simulated time";
+    EXPECT_EQ(pooled[i].observed, serial[i].observed);
+    EXPECT_EQ(pooled[i].acquires, serial[i].acquires);
+  }
+}
 
 }  // namespace
 }  // namespace glocks
