@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Fault-injection campaign: sweeps fault rates across lock kinds and
+# reports, per (rate, lock) cell, how the machine coped — completion
+# rate, fallback demotions/acquires, and mean fault-detection latency.
+#
+# Each cell is one `glocks-sweep --faults` invocation, so every grid
+# point inside it (workload x seed) runs on the shared worker pool from
+# src/exec and the per-cell CSV is deterministic. A bare rate R applies
+# to all four transient fault kinds with stuck-at rate R/10, so higher
+# rates also exercise the demotion path. If a cell's sweep aborts (a
+# genuine hang — injected faults themselves must never cause one), the
+# rows it emitted before the abort still count as completed runs, which
+# is exactly what the completion_rate column measures.
+#
+# Usage: scripts/fault_campaign.sh [out.csv]      (default: stdout)
+# Knobs (environment): RATES LOCKS WORKLOADS SEEDS CORES SCALE JOBS SWEEP
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SWEEP="${SWEEP:-build/src/tools/glocks-sweep}"
+RATES="${RATES:-0.0001 0.001 0.01}"
+LOCKS="${LOCKS:-glock mcs}"
+WORKLOADS="${WORKLOADS:-SCTR,MCTR,ACTR}"
+SEEDS="${SEEDS:-1,2,3}"
+CORES="${CORES:-16}"
+SCALE="${SCALE:-0.25}"
+JOBS="${JOBS:-$(nproc)}"
+
+if [[ ! -x "$SWEEP" ]]; then
+  echo "fault_campaign: $SWEEP not found — build first (cmake --build build)" >&2
+  exit 1
+fi
+
+OUT="${1:-/dev/stdout}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+expected=$(( $(tr ',' '\n' <<<"$WORKLOADS" | grep -c .) \
+           * $(tr ',' '\n' <<<"$SEEDS" | grep -c .) ))
+
+echo "fault_rate,lock,runs_expected,runs_completed,completion_rate,fallback_demotions,fallback_acquires,mean_detect_latency" > "$OUT"
+for rate in $RATES; do
+  for lock in $LOCKS; do
+    status=0
+    "$SWEEP" --workloads "$WORKLOADS" --locks "$lock" --cores "$CORES" \
+             --seeds "$SEEDS" --scale "$SCALE" --jobs "$JOBS" \
+             --faults "$rate" > "$TMP" 2>/dev/null || status=$?
+    awk -F, -v rate="$rate" -v lock="$lock" -v expected="$expected" '
+      NR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+      {
+        n++
+        dem += $col["fallback_demotions"]
+        acq += $col["fallback_acquires"]
+        lat += $col["mean_detect_latency"]
+      }
+      END {
+        printf "%s,%s,%d,%d,%.4f,%d,%d,%.3f\n", rate, lock, expected, n,
+               expected ? n / expected : 0, dem, acq, n ? lat / n : 0
+      }' "$TMP" >> "$OUT"
+    if [[ $status -ne 0 ]]; then
+      echo "fault_campaign: rate=$rate lock=$lock aborted (exit $status)" >&2
+    fi
+  done
+done

@@ -14,6 +14,20 @@ bool is_pow2(std::uint32_t v) { return v != 0 && std::has_single_bit(v); }
 
 }  // namespace
 
+void FaultConfig::validate() const {
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  GLOCKS_CHECK(rate_ok(drop_rate) && rate_ok(garble_rate) &&
+                   rate_ok(delay_rate) && rate_ok(noise_rate) &&
+                   rate_ok(stuck_rate),
+               "fault rates must lie in [0, 1]");
+  GLOCKS_CHECK(max_delay >= 1, "fault.max_delay must be >= 1");
+  GLOCKS_CHECK(stuck_horizon >= 1, "fault.stuck_horizon must be >= 1");
+  GLOCKS_CHECK(watchdog_timeout >= 1, "fault.watchdog_timeout must be >= 1");
+  GLOCKS_CHECK(max_retries >= 1, "fault.max_retries must be >= 1");
+  GLOCKS_CHECK(backoff_cap >= watchdog_timeout,
+               "fault.backoff_cap must be >= the watchdog timeout");
+}
+
 std::uint32_t CmpConfig::mesh_width() const {
   // Smallest W with W*H >= num_cores and W >= H; perfect squares (the
   // paper's layouts) give W == H == sqrt(C).
@@ -41,6 +55,7 @@ void CmpConfig::validate() const {
                "model requires link_width_bytes >= data_msg_bytes");
   GLOCKS_CHECK(noc.input_queue_depth >= 1, "router queues must hold >= 1");
   GLOCKS_CHECK(gline.signal_latency >= 1, "G-line latency must be >= 1");
+  fault.validate();
 }
 
 std::string CmpConfig::to_table() const {

@@ -78,6 +78,44 @@ struct GlineConfig {
   std::uint32_t max_transmitters_per_line = 6;
 };
 
+/// G-line fault-injection model (see docs/fault_model.md). The paper
+/// assumes the dedicated lock network is fault-free; this block opts a run
+/// into a deterministic, seeded fault schedule and enables the guarded
+/// transport (framed signalling + watchdog/retransmission + fallback to a
+/// coherence lock when a wire is declared permanently dead). With
+/// `enabled == false` (the default) the simulator takes the exact pre-fault
+/// code paths, so all baseline output is byte-identical.
+struct FaultConfig {
+  bool enabled = false;
+  /// Injector stream seed. Tools mix the run seed in so that fault
+  /// schedules replicate per (run seed, fault seed) pair.
+  std::uint64_t seed = 0;
+
+  // ---- transient faults (per frame sent on a G-line wire) ----
+  double drop_rate = 0.0;    ///< frame silently lost in flight
+  double garble_rate = 0.0;  ///< frame arrives but fails the validity check
+  double delay_rate = 0.0;   ///< frame delivered late by 1..max_delay cycles
+  std::uint32_t max_delay = 8;
+  /// Per-cycle-per-wire probability of a spurious pulse burst at the
+  /// receiver (always detected: an isolated burst cannot form a valid
+  /// frame — docs/fault_model.md, "why spurious pulses cannot forge").
+  double noise_rate = 0.0;
+
+  // ---- permanent faults ----
+  double stuck_rate = 0.0;      ///< per-wire chance of going stuck-at
+  Cycle stuck_horizon = 50000;  ///< onset cycle uniform in [0, horizon)
+
+  // ---- recovery protocol knobs ----
+  Cycle watchdog_timeout = 64;   ///< retransmit timer floor (cycles)
+  Cycle backoff_cap = 4096;      ///< exponential backoff ceiling
+  std::uint32_t max_retries = 8; ///< attempts before a link is declared dead
+  /// Fallback algorithm a demoted GLock degrades to: MCS (default) or
+  /// TATAS with exponential backoff.
+  bool fallback_tatas = false;
+
+  void validate() const;
+};
+
 /// Whole-machine configuration (paper Table II defaults).
 struct CmpConfig {
   std::uint32_t num_cores = 32;
@@ -93,6 +131,7 @@ struct CmpConfig {
   L2Config l2;
   NocConfig noc;
   GlineConfig gline;
+  FaultConfig fault;
 
   /// Hard stop for runaway simulations.
   Cycle max_cycles = 2'000'000'000;

@@ -46,7 +46,7 @@ void run_sweep(const SweepSpec& spec, std::ostream& os) {
   const std::vector<GridPoint> grid = expand(spec);
 
   os << "cores,seed,";
-  harness::write_csv_header(os);
+  harness::write_csv_header(os, spec.fault.enabled);
   os.flush();
 
   OrderedEmitter emitter(os, grid.size());
@@ -58,11 +58,18 @@ void run_sweep(const SweepSpec& spec, std::ostream& os) {
     cfg.cmp.num_cores = p.cores;
     cfg.policy.highly_contended = p.kind;
     cfg.seed = p.seed;
+    if (spec.fault.enabled) {
+      cfg.cmp.fault = spec.fault;
+      // Each point gets its own fault schedule, replicable from the
+      // (plan seed, workload seed) pair alone.
+      cfg.cmp.fault.seed =
+          spec.fault.seed ^ (p.seed * 0x9E3779B97F4A7C15ULL);
+    }
     auto wl = workloads::make_workload(p.workload, spec.scale);
     const auto r = harness::run_workload(*wl, cfg);
     std::ostringstream row;
     row << p.cores << ',' << p.seed << ',';
-    harness::write_csv_row(r, row);
+    harness::write_csv_row(r, row, spec.fault.enabled);
     emitter.emit(i, row.str());
   });
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hpp"
 #include "locks/factory.hpp"
 
 namespace glocks::exec {
@@ -22,6 +23,12 @@ struct SweepSpec {
   std::vector<std::uint64_t> seeds = {1};
   double scale = 1.0;
   unsigned jobs = 1;  ///< worker threads; 1 = strictly serial
+  /// Fault-injection plan applied to every grid point (--faults). When
+  /// enabled, each point derives its own injector seed from (fault.seed,
+  /// workload seed), the CSV gains the fault columns, and the guarded
+  /// G-line transport replaces the baseline units. Disabled (default)
+  /// leaves the CSV byte-identical to the pre-fault format.
+  FaultConfig fault;
 };
 
 /// Number of grid points (rows) the spec expands to.

@@ -1,0 +1,288 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace glocks::fault {
+
+namespace {
+
+// SplitMix64 finalizer: the per-(wire, cycle, salt) rolls need a stateless
+// hash rather than a sequential stream, so fault fates are independent of
+// the order in which wires consult the injector.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t latency_bucket(Cycle latency) {
+  if (latency < 1) latency = 1;
+  const auto b = static_cast<std::uint32_t>(std::bit_width(latency));
+  return std::min(b, kLatencyBuckets);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kGarble: return "garble";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kNoise: return "noise";
+    case FaultKind::kStuck: return "stuck";
+    case FaultKind::kStuckDrop: return "stuck-drop";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  stats_.enabled = cfg_.enabled;
+}
+
+std::uint32_t FaultInjector::register_wire() {
+  const auto id = static_cast<std::uint32_t>(stuck_from_.size());
+  Cycle onset = kNoCycle;
+  if (cfg_.enabled && cfg_.stuck_rate > 0.0 &&
+      roll(id, 0, /*salt=*/0xD1E5) < cfg_.stuck_rate) {
+    onset = mix(mix(cfg_.seed ^ 0x570CC) ^ id) % cfg_.stuck_horizon;
+  }
+  stuck_from_.push_back(onset);
+  stuck_event_.push_back(-1);
+  return id;
+}
+
+double FaultInjector::roll(std::uint32_t wire, Cycle now,
+                           std::uint32_t salt) const {
+  std::uint64_t h = mix(cfg_.seed ^ (static_cast<std::uint64_t>(salt) << 40));
+  h = mix(h ^ (static_cast<std::uint64_t>(wire) << 32) ^ now);
+  // 53-bit mantissa -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::int32_t FaultInjector::record(FaultKind k, std::uint32_t wire,
+                                   Cycle now) {
+  stats_.injected[static_cast<std::size_t>(k)]++;
+  const auto id = static_cast<std::int32_t>(ledger_.size());
+  ledger_.push_back(FaultEvent{k, wire, now, kNoCycle, false, false});
+  return id;
+}
+
+FrameFate FaultInjector::judge_frame(std::uint32_t wire, Cycle now) {
+  FrameFate fate;
+  if (!cfg_.enabled) return fate;
+  if (stuck_from_[wire] != kNoCycle && now >= stuck_from_[wire]) {
+    // Record the permanent fault once, on its first observable effect;
+    // frames lost to it afterwards are separate (tolerated-by-ARQ or
+    // watchdog-detected) events.
+    if (stuck_event_[wire] < 0) {
+      stuck_event_[wire] = record(FaultKind::kStuck, wire, stuck_from_[wire]);
+    }
+    fate.lost = true;
+    fate.sender_event = record(FaultKind::kStuckDrop, wire, now);
+    return fate;
+  }
+  if (cfg_.drop_rate > 0.0 && roll(wire, now, 0xA11CE) < cfg_.drop_rate) {
+    fate.lost = true;
+    fate.sender_event = record(FaultKind::kDrop, wire, now);
+    return fate;
+  }
+  if (cfg_.garble_rate > 0.0 && roll(wire, now, 0xB0B) < cfg_.garble_rate) {
+    fate.garbled = true;
+    fate.garble_event = record(FaultKind::kGarble, wire, now);
+  }
+  if (cfg_.delay_rate > 0.0 && roll(wire, now, 0xCAFE) < cfg_.delay_rate) {
+    fate.extra_delay =
+        1 + mix(mix(cfg_.seed ^ 0xDE1A) ^ (static_cast<std::uint64_t>(wire)
+                                           << 32) ^ now) % cfg_.max_delay;
+    fate.delay_event = record(FaultKind::kDelay, wire, now);
+  }
+  return fate;
+}
+
+std::int32_t FaultInjector::noise_event_at(std::uint32_t wire, Cycle now) {
+  if (!cfg_.enabled || cfg_.noise_rate <= 0.0) return -1;
+  // A stuck wire cannot carry noise either: it is held at a rail.
+  if (stuck_from_[wire] != kNoCycle && now >= stuck_from_[wire]) return -1;
+  if (roll(wire, now, 0x2015E) >= cfg_.noise_rate) return -1;
+  return record(FaultKind::kNoise, wire, now);
+}
+
+void FaultInjector::close_detected(std::int32_t event, Cycle now) {
+  if (event < 0) return;
+  auto& e = ledger_[static_cast<std::size_t>(event)];
+  if (e.closed) return;
+  e.closed = true;
+  e.detected_at = now;
+  const Cycle latency = now >= e.injected ? now - e.injected : 0;
+  stats_.detection_latency.add(latency_bucket(latency));
+  stats_.detection_latency_sum += latency;
+  stats_.detection_count++;
+}
+
+void FaultInjector::on_rx_discard(std::int32_t event, Cycle now) {
+  stats_.rx_discards++;
+  close_detected(event, now);
+}
+
+void FaultInjector::on_tolerated(std::int32_t event) {
+  if (event < 0) return;
+  auto& e = ledger_[static_cast<std::size_t>(event)];
+  if (e.closed) return;
+  e.closed = true;
+  e.tolerated = true;
+}
+
+void FaultInjector::on_detected(const std::vector<std::int32_t>& events,
+                                Cycle now) {
+  for (auto id : events) close_detected(id, now);
+}
+
+void FaultInjector::on_wire_dead(std::uint32_t wire, Cycle now) {
+  if (stuck_event_[wire] >= 0) close_detected(stuck_event_[wire], now);
+}
+
+void FaultInjector::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  stats_.detected = 0;
+  stats_.tolerated = 0;
+  for (auto& e : ledger_) {
+    if (!e.closed) {
+      // Never observed and never needed: the protocol finished without it
+      // mattering (e.g. a delay inside the watchdog window on the final
+      // frame, or noise on a cycle nobody was listening).
+      e.closed = true;
+      e.tolerated = true;
+    }
+    if (e.tolerated) {
+      stats_.tolerated++;
+    } else {
+      stats_.detected++;
+    }
+  }
+}
+
+namespace {
+
+// std::stod/stoull throw std::invalid_argument on garbage; a CLI-facing
+// parser should speak SimError with the offending token instead.
+double spec_double(const std::string& s) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  GLOCKS_CHECK(pos == s.size() && !s.empty(),
+               "--faults: '" << s << "' is not a number");
+  return v;
+}
+
+std::uint64_t spec_u64(const std::string& s) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  GLOCKS_CHECK(pos == s.size() && !s.empty(),
+               "--faults: '" << s << "' is not an integer");
+  return v;
+}
+
+}  // namespace
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  GLOCKS_CHECK(!spec.empty(), "--faults needs a rate or key=value list");
+
+  if (spec.find('=') == std::string::npos) {
+    // Bare rate: apply to each transient class; permanents are rarer.
+    const double rate = spec_double(spec);
+    GLOCKS_CHECK(rate >= 0.0 && rate <= 1.0,
+                 "--faults rate must lie in [0, 1], got " << spec);
+    cfg.drop_rate = cfg.garble_rate = cfg.delay_rate = cfg.noise_rate = rate;
+    cfg.stuck_rate = rate / 10.0;
+    return cfg;
+  }
+
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    GLOCKS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+                 "--faults: malformed pair '" << item << "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "drop") {
+      cfg.drop_rate = spec_double(val);
+    } else if (key == "garble") {
+      cfg.garble_rate = spec_double(val);
+    } else if (key == "delay") {
+      cfg.delay_rate = spec_double(val);
+    } else if (key == "noise") {
+      cfg.noise_rate = spec_double(val);
+    } else if (key == "stuck") {
+      cfg.stuck_rate = spec_double(val);
+    } else if (key == "max_delay") {
+      cfg.max_delay = static_cast<std::uint32_t>(spec_u64(val));
+    } else if (key == "stuck_horizon") {
+      cfg.stuck_horizon = spec_u64(val);
+    } else if (key == "timeout") {
+      cfg.watchdog_timeout = spec_u64(val);
+    } else if (key == "backoff_cap") {
+      cfg.backoff_cap = spec_u64(val);
+    } else if (key == "retries") {
+      cfg.max_retries = static_cast<std::uint32_t>(spec_u64(val));
+    } else if (key == "seed") {
+      cfg.seed = spec_u64(val);
+    } else if (key == "fallback") {
+      GLOCKS_CHECK(val == "mcs" || val == "tatas",
+                   "--faults: fallback must be mcs or tatas, got " << val);
+      cfg.fallback_tatas = (val == "tatas");
+    } else {
+      GLOCKS_CHECK(false, "--faults: unknown key '" << key << "'");
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+std::string summary(const FaultStats& s) {
+  std::ostringstream oss;
+  oss << "  faults injected    " << s.injected_total();
+  bool first = true;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (s.injected[k] == 0) continue;
+    oss << (first ? " (" : ", ") << to_string(static_cast<FaultKind>(k))
+        << " " << s.injected[k];
+    first = false;
+  }
+  if (!first) oss << ")";
+  oss << "\n"
+      << "  detected / tolerated  " << s.detected << " / " << s.tolerated
+      << "\n"
+      << "  retransmissions       " << s.retransmissions << " ("
+      << s.spurious_retransmissions << " spurious), watchdog fires "
+      << s.watchdog_timeouts << "\n"
+      << "  rx discards           " << s.rx_discards << ", duplicates "
+      << s.duplicate_frames << "\n"
+      << "  link failures         " << s.link_failures << ", demotions "
+      << s.fallback_demotions << ", fallback acquires "
+      << s.fallback_acquires << "\n"
+      << "  mean detect latency   " << s.mean_detection_latency()
+      << " cycles over " << s.detection_count << " detections\n";
+  return oss.str();
+}
+
+}  // namespace glocks::fault

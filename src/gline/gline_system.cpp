@@ -12,7 +12,19 @@ GlineSystem::GlineSystem(
     std::vector<glocks::core::BarrierRegisters*> barrier_regs) {
   const std::uint32_t width = cfg.mesh_width();
   hierarchical_ = cfg.gline.hierarchical;
-  if (hierarchical_) {
+  if (cfg.fault.enabled) {
+    // Fault mode: every lock rides the guarded transport so the protocol
+    // can detect and survive the injected schedule.
+    injector_ = std::make_unique<fault::FaultInjector>(cfg.fault);
+    health_ = std::make_unique<fault::GlockHealth>(cfg.gline.num_glocks);
+    const std::uint32_t group =
+        hierarchical_ ? cfg.gline.max_transmitters_per_line : width;
+    for (GlockId g = 0; g < cfg.gline.num_glocks; ++g) {
+      guarded_units_.push_back(std::make_unique<GuardedGlockUnit>(
+          g, cfg.num_cores, group, hierarchical_, cfg.gline.signal_latency,
+          cfg.fault, injector_.get(), health_.get(), regs));
+    }
+  } else if (hierarchical_) {
     // Section V scaling path 2: an arbitrary-depth token tree whose
     // segments never exceed the per-wire transmitter budget.
     for (GlockId g = 0; g < cfg.gline.num_glocks; ++g) {
@@ -47,6 +59,7 @@ GlineSystem::GlineSystem(
 void GlineSystem::tick(Cycle now) {
   for (auto& u : units_) u->tick(now);
   for (auto& u : hier_units_) u->tick(now);
+  for (auto& u : guarded_units_) u->tick(now);
   for (auto& b : barriers_) b->tick(now);
 }
 
@@ -61,6 +74,7 @@ GlineStats GlineSystem::total_stats() const {
   };
   for (const auto& u : units_) fold(u->stats());
   for (const auto& u : hier_units_) fold(u->stats());
+  for (const auto& u : guarded_units_) fold(u->stats());
   return total;
 }
 
@@ -81,10 +95,39 @@ bool GlineSystem::idle() const {
   for (const auto& u : hier_units_) {
     if (!u->idle()) return false;
   }
+  for (const auto& u : guarded_units_) {
+    if (!u->idle()) return false;
+  }
   for (const auto& b : barriers_) {
     if (!b->idle()) return false;
   }
   return true;
+}
+
+fault::FaultStats GlineSystem::finalize_fault_stats() {
+  if (!injector_) return fault::FaultStats{};
+  injector_->counter(&fault::FaultStats::fallback_acquires) =
+      health_->fallback_acquires;
+  injector_->finalize();
+  return injector_->stats();
+}
+
+std::string GlineSystem::debug_dump() const {
+  std::ostringstream oss;
+  for (const auto& u : guarded_units_) oss << u->debug_dump();
+  for (GlockId g = 0; g < units_.size(); ++g) {
+    const auto h = units_[g]->holder();
+    oss << "glock " << g << " holder="
+        << (h ? std::to_string(*h) : std::string("none"))
+        << (units_[g]->idle() ? " idle" : " active") << "\n";
+  }
+  for (GlockId g = 0; g < hier_units_.size(); ++g) {
+    const auto h = hier_units_[g]->holder();
+    oss << "glock " << g << " holder="
+        << (h ? std::to_string(*h) : std::string("none"))
+        << (hier_units_[g]->idle() ? " idle" : " active") << "\n";
+  }
+  return oss.str();
 }
 
 CostModel CostModel::for_cores(std::uint32_t c) {

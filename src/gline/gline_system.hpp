@@ -1,5 +1,11 @@
 // The chip's GLocks hardware: one GlockUnit per provisioned lock, plus the
 // analytic cost model of paper Table I.
+//
+// With fault injection enabled (cfg.fault.enabled) every lock unit is
+// built as a GuardedGlockUnit on reliable framed channels instead, and the
+// system owns the run's FaultInjector and the GlockHealth board that the
+// lock factory consults for fallback demotion. The barrier network is not
+// fault-modelled: the fault campaign targets the lock protocol.
 #pragma once
 
 #include <cstdint>
@@ -10,8 +16,10 @@
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "core/thread.hpp"
+#include "fault/fault.hpp"
 #include "gline/gbarrier_unit.hpp"
 #include "gline/glock_unit.hpp"
+#include "gline/guarded_glock_unit.hpp"
 #include "gline/hier_glock_unit.hpp"
 #include "sim/engine.hpp"
 
@@ -27,14 +35,19 @@ class GlineSystem final : public sim::Component {
               std::vector<glocks::core::BarrierRegisters*> barrier_regs = {});
 
   std::uint32_t num_glocks() const {
+    if (guarded()) return static_cast<std::uint32_t>(guarded_units_.size());
     return static_cast<std::uint32_t>(
         hierarchical_ ? hier_units_.size() : units_.size());
   }
   bool hierarchical() const { return hierarchical_; }
-  /// Flat-design accessors (only valid when !hierarchical()).
+  /// True when fault injection rebuilt the lock units on the guarded
+  /// transport.
+  bool guarded() const { return injector_ != nullptr; }
+  /// Flat-design accessors (only valid when !hierarchical() && !guarded()).
   GlockUnit& unit(GlockId g) { return *units_[g]; }
   const GlockUnit& unit(GlockId g) const { return *units_[g]; }
   HierGlockUnit& hier_unit(GlockId g) { return *hier_units_[g]; }
+  GuardedGlockUnit& guarded_unit(GlockId g) { return *guarded_units_[g]; }
 
   std::uint32_t num_gbarriers() const {
     return static_cast<std::uint32_t>(barriers_.size());
@@ -47,10 +60,27 @@ class GlineSystem final : public sim::Component {
   GBarrierStats total_barrier_stats() const;
   bool idle() const;
 
+  /// Health board consulted by the lock factory; null when faults are
+  /// disabled.
+  fault::GlockHealth* health() { return health_.get(); }
+  fault::FaultInjector* injector() { return injector_.get(); }
+
+  /// Closes the fault ledger and returns the reconciled statistics
+  /// (injected == detected + tolerated). Disabled runs return a
+  /// default-constructed (all-zero, enabled=false) block.
+  fault::FaultStats finalize_fault_stats();
+
+  /// Controller/flag/token dump of every lock unit, for the hang
+  /// diagnostic.
+  std::string debug_dump() const;
+
  private:
   bool hierarchical_ = false;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::GlockHealth> health_;
   std::vector<std::unique_ptr<GlockUnit>> units_;
   std::vector<std::unique_ptr<HierGlockUnit>> hier_units_;
+  std::vector<std::unique_ptr<GuardedGlockUnit>> guarded_units_;
   std::vector<std::unique_ptr<GBarrierUnit>> barriers_;
 };
 

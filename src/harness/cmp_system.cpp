@@ -1,8 +1,30 @@
 #include "harness/cmp_system.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
 
 namespace glocks::harness {
+
+namespace {
+
+const char* wait_name(core::ThreadContext::Wait w) {
+  using Wait = core::ThreadContext::Wait;
+  switch (w) {
+    case Wait::kReady: return "ready";
+    case Wait::kCompute: return "compute";
+    case Wait::kMem: return "mem";
+    case Wait::kGlineReq: return "gline-req";
+    case Wait::kGlineRel: return "gline-rel";
+    case Wait::kGBarrier: return "gbarrier";
+    case Wait::kSbWait: return "sb-wait";
+    case Wait::kQolbAcq: return "qolb-acq";
+    case Wait::kQolbRel: return "qolb-rel";
+  }
+  return "?";
+}
+
+}  // namespace
 
 CmpSystem::CmpSystem(const CmpConfig& cfg)
     : cfg_(cfg),
@@ -31,6 +53,37 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
                                                  std::move(barrier_regs));
   engine_.add(*glines_);
   engine_.add(census_);
+  engine_.set_hang_reporter([this] { return hang_report(); });
+}
+
+std::string CmpSystem::hang_report() const {
+  std::ostringstream oss;
+  oss << "cores (wait-state, lock registers):\n";
+  for (const auto& c : cores_) {
+    oss << "  core " << c->id() << ": ";
+    if (c->finished()) {
+      oss << "finished\n";
+      continue;
+    }
+    const auto& ctx = c->context();
+    oss << wait_name(ctx.wait);
+    if (ctx.wait == core::ThreadContext::Wait::kGlineReq ||
+        ctx.wait == core::ThreadContext::Wait::kGlineRel) {
+      oss << "(glock " << ctx.gline_id << ")";
+    }
+    oss << " req=[";
+    const auto& lr = c->lock_registers();
+    for (std::size_t g = 0; g < lr.req.size(); ++g) {
+      oss << (g ? "," : "") << (lr.req[g] ? 1 : 0);
+    }
+    oss << "] rel=[";
+    for (std::size_t g = 0; g < lr.rel.size(); ++g) {
+      oss << (g ? "," : "") << (lr.rel[g] ? 1 : 0);
+    }
+    oss << "]\n";
+  }
+  oss << "G-line lock units:\n" << glines_->debug_dump();
+  return oss.str();
 }
 
 void CmpSystem::attach_tracer(trace::Tracer& tracer) {

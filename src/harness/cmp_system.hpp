@@ -27,6 +27,8 @@ class CmpSystem {
   noc::Mesh& mesh() { return mesh_; }
   mem::Hierarchy& hierarchy() { return hierarchy_; }
   gline::GlineSystem& glines() { return *glines_; }
+  /// Fallback-demotion board; null when fault injection is disabled.
+  fault::GlockHealth* glock_health() { return glines_->health(); }
   locks::ContentionCensus& census() { return census_; }
   mem::SimAllocator& heap() { return heap_; }
   core::Core& core(CoreId c) { return *cores_[c]; }
@@ -43,6 +45,10 @@ class CmpSystem {
   /// coherence traffic. Returns the cycle the last thread finished at
   /// (the paper's execution-time metric excludes the drain tail).
   Cycle run();
+
+  /// Per-core wait states and lock registers plus the G-line units'
+  /// controller/token dump; installed as the engine's hang reporter.
+  std::string hang_report() const;
 
  private:
   CmpConfig cfg_;

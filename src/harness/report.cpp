@@ -45,8 +45,11 @@ std::string summary_text(const RunResult& r) {
      << r.energy.network / 1e6 << ", cores " << r.energy.cores / 1e6
      << ", leakage " << r.energy.leakage / 1e6 << ")\n"
      << "  ED2P               " << std::scientific << std::setprecision(4)
-     << r.ed2p << "\n"
-     << "  locks:\n";
+     << r.ed2p << "\n";
+  if (r.fault.enabled) {
+    os << fault::summary(r.fault);
+  }
+  os << "  locks:\n";
   for (const auto& lc : r.lock_census) {
     const double hc = lc.census.fraction(lc.census.max_bin() * 2 / 3 + 1,
                                          lc.census.max_bin());
@@ -57,14 +60,20 @@ std::string summary_text(const RunResult& r) {
   return os.str();
 }
 
-void write_csv_header(std::ostream& os) {
+void write_csv_header(std::ostream& os, bool with_faults) {
   os << "workload,hc_lock,cycles,busy,memory,lock,barrier,uops,"
         "traffic_bytes,coherence_bytes,request_bytes,reply_bytes,"
         "l1_accesses,l1_misses,invalidations,forwards,memory_fetches,"
-        "gline_signals,gline_grants,energy_pj,ed2p\n";
+        "gline_signals,gline_grants,energy_pj,ed2p";
+  if (with_faults) {
+    os << ",faults_injected,faults_detected,faults_tolerated,"
+          "retransmissions,watchdog_timeouts,rx_discards,link_failures,"
+          "fallback_demotions,fallback_acquires,mean_detect_latency";
+  }
+  os << "\n";
 }
 
-void write_csv_row(const RunResult& r, std::ostream& os) {
+void write_csv_row(const RunResult& r, std::ostream& os, bool with_faults) {
   os << r.workload << ',' << r.hc_lock_kind << ',' << r.cycles << ','
      << r.busy_fraction() << ',' << r.memory_fraction() << ','
      << r.lock_fraction() << ',' << r.barrier_fraction() << ',' << r.uops
@@ -75,7 +84,16 @@ void write_csv_row(const RunResult& r, std::ostream& os) {
      << ',' << r.l1.misses << ',' << r.l1.invalidations_received << ','
      << r.dir.forwards_sent << ',' << r.dir.memory_fetches << ','
      << r.gline.signals << ',' << r.gline.acquires_granted << ','
-     << r.energy.total() << ',' << r.ed2p << "\n";
+     << r.energy.total() << ',' << r.ed2p;
+  if (with_faults) {
+    os << ',' << r.fault.injected_total() << ',' << r.fault.detected << ','
+       << r.fault.tolerated << ',' << r.fault.retransmissions << ','
+       << r.fault.watchdog_timeouts << ',' << r.fault.rx_discards << ','
+       << r.fault.link_failures << ',' << r.fault.fallback_demotions << ','
+       << r.fault.fallback_acquires << ','
+       << r.fault.mean_detection_latency();
+  }
+  os << "\n";
 }
 
 void write_json(const RunResult& r, std::ostream& os) {
@@ -102,8 +120,28 @@ void write_json(const RunResult& r, std::ostream& os) {
      << ",\n  \"gline\": {\"signals\": " << r.gline.signals
      << ", \"grants\": " << r.gline.acquires_granted << "}"
      << ",\n  \"energy_pj\": " << r.energy.total()  //
-     << ",\n  \"ed2p\": " << r.ed2p                 //
-     << ",\n  \"locks\": [";
+     << ",\n  \"ed2p\": " << r.ed2p;                //
+  if (r.fault.enabled) {
+    os << ",\n  \"fault\": {\"injected\": " << r.fault.injected_total()
+       << ", \"detected\": " << r.fault.detected
+       << ", \"tolerated\": " << r.fault.tolerated
+       << ", \"retransmissions\": " << r.fault.retransmissions
+       << ", \"watchdog_timeouts\": " << r.fault.watchdog_timeouts
+       << ", \"rx_discards\": " << r.fault.rx_discards
+       << ", \"duplicate_frames\": " << r.fault.duplicate_frames
+       << ", \"link_failures\": " << r.fault.link_failures
+       << ", \"fallback_demotions\": " << r.fault.fallback_demotions
+       << ", \"fallback_acquires\": " << r.fault.fallback_acquires
+       << ", \"mean_detect_latency\": " << r.fault.mean_detection_latency()
+       << ", \"detect_latency_log2\": [";
+    for (std::uint32_t b = 1; b <= r.fault.detection_latency.max_bin();
+         ++b) {
+      if (b > 1) os << ",";
+      os << r.fault.detection_latency.count(b);
+    }
+    os << "]}";
+  }
+  os << ",\n  \"locks\": [";
   bool first = true;
   for (const auto& lc : r.lock_census) {
     if (!first) os << ",";

@@ -8,12 +8,17 @@
 
 namespace glocks::harness {
 
-/// Multi-section human-readable report of one run.
+/// Multi-section human-readable report of one run. Fault/recovery
+/// statistics appear only when the run had fault injection enabled.
 std::string summary_text(const RunResult& r);
 
 /// Flat CSV: one header, one row per run (for spreadsheets / plotting).
-void write_csv_header(std::ostream& os);
-void write_csv_row(const RunResult& r, std::ostream& os);
+/// `with_faults` appends the fault/recovery columns; it must match
+/// between header and rows. Defaulting it off keeps clean-run output
+/// byte-identical to the pre-fault-subsystem format.
+void write_csv_header(std::ostream& os, bool with_faults = false);
+void write_csv_row(const RunResult& r, std::ostream& os,
+                   bool with_faults = false);
 
 /// Full JSON document including the per-lock census histograms.
 void write_json(const RunResult& r, std::ostream& os);

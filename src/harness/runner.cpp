@@ -58,6 +58,7 @@ RunResult run_workload(Workload& workload, const RunConfig& cfg) {
   r.l1 = sys.hierarchy().total_l1_stats();
   r.dir = sys.hierarchy().total_dir_stats();
   r.gline = sys.glines().total_stats();
+  r.fault = sys.glines().finalize_fault_stats();
 
   const auto& census = sys.census();
   for (std::size_t i = 0; i < census.num_locks(); ++i) {

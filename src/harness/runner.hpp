@@ -10,6 +10,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "fault/fault.hpp"
 #include "harness/workload.hpp"
 #include "power/energy_model.hpp"
 
@@ -43,6 +44,10 @@ struct RunResult {
 
   power::EnergyReport energy;
   double ed2p = 0.0;
+
+  /// Fault-injection accounting; all-zero (enabled == false) on clean
+  /// runs so baseline reports stay byte-identical.
+  fault::FaultStats fault;
 
   /// Per-lock contention census (paper Figure 7): lock name + histogram
   /// over grAC in [1 .. num_cores].

@@ -30,8 +30,11 @@ locks::Lock& WorkloadContext::make_lock_of(locks::LockKind kind,
                                            const std::string& name) {
   locks::GlockAllocator* alloc =
       shared_glocks_ != nullptr ? shared_glocks_ : &glock_alloc_;
-  locks_.push_back(
-      locks::make_lock(kind, name, heap(), num_threads(), alloc));
+  const locks::LockKind fallback = sys_.config().fault.fallback_tatas
+                                       ? locks::LockKind::kTatasBackoff
+                                       : locks::LockKind::kMcs;
+  locks_.push_back(locks::make_lock(kind, name, heap(), num_threads(),
+                                    alloc, sys_.glock_health(), fallback));
   locks_.back()->preload(memory());
   sys_.census().watch(*locks_.back());
   return *locks_.back();

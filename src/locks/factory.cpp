@@ -4,6 +4,7 @@
 #include "locks/clh_lock.hpp"
 #include "locks/queue_locks.hpp"
 #include "locks/reactive_lock.hpp"
+#include "locks/resilient_glock.hpp"
 #include "locks/qolb_lock.hpp"
 #include "locks/sb_lock.hpp"
 #include "locks/special_locks.hpp"
@@ -57,7 +58,9 @@ GlockId GlockAllocator::allocate() {
 std::unique_ptr<Lock> make_lock(LockKind kind, std::string_view name,
                                 mem::SimAllocator& heap,
                                 std::uint32_t num_threads,
-                                GlockAllocator* glocks) {
+                                GlockAllocator* glocks,
+                                fault::GlockHealth* health,
+                                LockKind fallback) {
   std::unique_ptr<Lock> lock;
   switch (kind) {
     case LockKind::kSimple:
@@ -93,11 +96,26 @@ std::unique_ptr<Lock> make_lock(LockKind kind, std::string_view name,
     case LockKind::kIdeal:
       lock = std::make_unique<IdealLock>();
       break;
-    case LockKind::kGlock:
+    case LockKind::kGlock: {
       GLOCKS_CHECK(glocks != nullptr,
                    "GLock requested without a hardware allocator");
-      lock = std::make_unique<GLock>(glocks->allocate());
+      const GlockId id = glocks->allocate();
+      if (health != nullptr) {
+        // Fault-injection run: give the GLock a software lock to degrade
+        // to when its hardware is declared dead (docs/fault_model.md).
+        GLOCKS_CHECK(fallback != LockKind::kGlock,
+                     "a GLock cannot be its own fallback");
+        auto backup = make_lock(fallback,
+                                std::string(name) + "-fallback", heap,
+                                num_threads, glocks);
+        lock = std::make_unique<ResilientGlock>(id, health,
+                                                std::move(backup),
+                                                num_threads);
+      } else {
+        lock = std::make_unique<GLock>(id);
+      }
       break;
+    }
   }
   lock->stats().name = std::string(name);
   return lock;

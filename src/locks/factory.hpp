@@ -7,6 +7,7 @@
 #include <optional>
 #include <string_view>
 
+#include "fault/fault.hpp"
 #include "locks/lock.hpp"
 #include "mem/sim_allocator.hpp"
 
@@ -48,9 +49,14 @@ class GlockAllocator {
 
 /// Builds a lock of the requested kind. `glocks` is required only for
 /// LockKind::kGlock. The returned lock's stats().name is set to `name`.
+/// When `health` is non-null (fault-injection runs), GLocks are wrapped
+/// in a ResilientGlock that demotes to `fallback` once the health board
+/// marks their hardware dead.
 std::unique_ptr<Lock> make_lock(LockKind kind, std::string_view name,
                                 mem::SimAllocator& heap,
                                 std::uint32_t num_threads,
-                                GlockAllocator* glocks = nullptr);
+                                GlockAllocator* glocks = nullptr,
+                                fault::GlockHealth* health = nullptr,
+                                LockKind fallback = LockKind::kMcs);
 
 }  // namespace glocks::locks

@@ -1,0 +1,31 @@
+#include "locks/resilient_glock.hpp"
+
+namespace glocks::locks {
+
+using core::Task;
+using core::ThreadApi;
+
+Task<void> ResilientGlock::do_acquire(ThreadApi& t) {
+  if (!demoted()) {
+    co_await t.gl_acquire(id_);
+    if (!demoted()) {
+      mode_[t.thread_id()] = Mode::kHardware;
+      co_return;
+    }
+    // The register cleared because the demoted unit flushes it, not
+    // because a token arrived: fall through to the software lock.
+  }
+  mode_[t.thread_id()] = Mode::kFallback;
+  ++health_->fallback_acquires;
+  co_await fallback_->acquire(t);
+}
+
+Task<void> ResilientGlock::do_release(ThreadApi& t) {
+  if (mode_[t.thread_id()] == Mode::kHardware) {
+    co_await t.gl_release(id_);
+  } else {
+    co_await fallback_->release(t);
+  }
+}
+
+}  // namespace glocks::locks

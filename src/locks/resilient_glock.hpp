@@ -1,0 +1,65 @@
+// ResilientGlock: a GLock handle that degrades to a software lock when
+// the fault subsystem declares its hardware dead.
+//
+// Composition pattern from the lock literature (Fissile-style "fast path
+// + backup lock"): the fast path is the hardware register handshake, the
+// backup an embedded coherence lock (MCS by default, TATAS-backoff on
+// request). The demoted flag on the shared GlockHealth board — raised by
+// GuardedGlockUnit only after its drain guarantees no hardware holder
+// exists or can arise — is the switch:
+//
+//   * checked before the fast path: post-demotion acquires go straight to
+//     the fallback and never touch the registers;
+//   * re-checked after gl_acquire returns: a demoted unit flushes the
+//     lock registers every cycle, so a spin that was in flight when the
+//     hardware died unblocks with a *fake* grant, which must not be
+//     mistaken for ownership — the wrapper routes the caller into the
+//     fallback instead.
+//
+// Each thread records which path its current acquire took so release is
+// routed symmetrically. Mutual exclusion across the transition holds
+// because the drain serializes: last hardware release happens-before
+// demotion happens-before first fallback acquire.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/fault.hpp"
+#include "locks/lock.hpp"
+
+namespace glocks::locks {
+
+class ResilientGlock : public Lock {
+ public:
+  ResilientGlock(GlockId id, fault::GlockHealth* health,
+                 std::unique_ptr<Lock> fallback, std::uint32_t num_threads)
+      : id_(id),
+        health_(health),
+        fallback_(std::move(fallback)),
+        mode_(num_threads, Mode::kHardware) {}
+
+  std::string_view kind_name() const override { return "glock"; }
+  GlockId id() const { return id_; }
+  const Lock& fallback() const { return *fallback_; }
+
+  void preload(mem::BackingStore& store) override {
+    fallback_->preload(store);
+  }
+
+ protected:
+  core::Task<void> do_acquire(core::ThreadApi& t) override;
+  core::Task<void> do_release(core::ThreadApi& t) override;
+
+ private:
+  enum class Mode : std::uint8_t { kHardware, kFallback };
+  bool demoted() const { return health_->demoted[id_] != 0; }
+
+  GlockId id_;
+  fault::GlockHealth* health_;
+  std::unique_ptr<Lock> fallback_;
+  std::vector<Mode> mode_;  ///< path taken by each thread's live acquire
+};
+
+}  // namespace glocks::locks

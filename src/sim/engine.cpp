@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
 
 namespace glocks::sim {
@@ -13,10 +15,16 @@ void Engine::step() {
 
 Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
   while (!done()) {
-    GLOCKS_CHECK(now_ < max_cycles,
-                 "simulation exceeded " << max_cycles
-                                        << " cycles — deadlock or runaway "
-                                           "workload");
+    if (now_ >= max_cycles) [[unlikely]] {
+      std::ostringstream oss;
+      oss << "simulation exceeded " << max_cycles
+          << " cycles — deadlock or runaway workload";
+      if (hang_reporter_) {
+        oss << "\n--- hang diagnostic (cycle " << now_ << ") ---\n"
+            << hang_reporter_();
+      }
+      throw SimError(oss.str());
+    }
     step();
   }
   return now_;

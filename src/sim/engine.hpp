@@ -44,11 +44,21 @@ class Engine {
   /// Runs until `done()` returns true (checked between cycles) or
   /// `max_cycles` elapse. Returns the final cycle count. Throws SimError
   /// if the cycle limit is hit, since that always signals a deadlock or a
-  /// runaway workload.
+  /// runaway workload; the error carries the hang reporter's dump when
+  /// one is installed.
   Cycle run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  /// Installs a callback that renders the machine state (per-core waits,
+  /// lock registers, controller flags, token positions) into the
+  /// SimError thrown on a cycle-limit hit, turning a bare abort into a
+  /// debuggable deadlock report.
+  void set_hang_reporter(std::function<std::string()> reporter) {
+    hang_reporter_ = std::move(reporter);
+  }
 
  private:
   std::vector<Component*> components_;
+  std::function<std::string()> hang_reporter_;
   Cycle now_ = 0;
 };
 

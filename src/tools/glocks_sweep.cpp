@@ -11,6 +11,14 @@
 //   --seeds n1,n2,...     workload seeds (--seed N works too)  [1]
 //   --jobs N              simulations run concurrently     [nproc]
 //   --all                 shorthand for every workload
+//   --faults SPEC         fault-injection plan for every grid point.
+//                         SPEC is a bare rate ("0.001") or a key=value
+//                         list ("drop=1e-3,stuck=1e-4,seed=7,
+//                         fallback=mcs"); see fault/fault.hpp. Adds the
+//                         fault/recovery columns to the CSV. Each point
+//                         mixes its workload seed into the plan seed, so
+//                         the whole table is still deterministic and
+//                         byte-identical across --jobs values.
 //
 // Output: the report CSV header plus one row per
 // (workload, lock, cores, seed), with `cores` and `seed` columns
@@ -27,6 +35,7 @@
 
 #include "exec/job_pool.hpp"
 #include "exec/sweep.hpp"
+#include "fault/fault.hpp"
 #include "tools/args.hpp"
 #include "workloads/registry.hpp"
 
@@ -93,6 +102,10 @@ int main(int argc, char** argv) {
     spec.jobs = static_cast<unsigned>(
         args.get_u64("jobs", exec::default_jobs()));
     GLOCKS_CHECK(spec.jobs >= 1, "--jobs must be >= 1");
+
+    if (args.has("faults")) {
+      spec.fault = fault::parse_fault_spec(args.get("faults"));
+    }
 
     exec::run_sweep(spec, std::cout);
     return 0;

@@ -22,12 +22,19 @@
 //   --trace FILE         write a Chrome-trace JSON of lock/barrier events
 //   --replay FILE        replay a lock-access trace instead of --workload
 //                        (see workloads/trace_replay.hpp for the format)
+//   --faults SPEC        enable G-line fault injection; SPEC is a bare
+//                        rate ("0.001") or key=value list
+//                        ("drop=1e-3,stuck=1e-4,fallback=mcs"), see
+//                        fault/fault.hpp. Adds a fault/recovery section
+//                        to the report (and CSV/JSON output).
+//   --fault-seed N       fault-injector seed (overrides seed= in SPEC)
 //   --list               list available workloads and lock kinds
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <iostream>
 
+#include "fault/fault.hpp"
 #include "harness/auto_policy.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
@@ -74,6 +81,15 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_u64("glocks", 2));
     cfg.cmp.gline.signal_latency = args.get_u64("gline-latency", 1);
     cfg.seed = args.get_u64("seed", 1);
+
+    if (args.has("faults")) {
+      cfg.cmp.fault = fault::parse_fault_spec(args.get("faults"));
+    }
+    if (args.has("fault-seed")) {
+      GLOCKS_CHECK(cfg.cmp.fault.enabled,
+                   "--fault-seed needs --faults to enable injection");
+      cfg.cmp.fault.seed = args.get_u64("fault-seed", 0);
+    }
 
     const auto hc = locks::parse_lock_kind(args.get("lock", "glock"));
     const auto reg =
@@ -135,8 +151,8 @@ int main(int argc, char** argv) {
     }
 
     if (args.has("csv")) {
-      harness::write_csv_header(std::cout);
-      harness::write_csv_row(result, std::cout);
+      harness::write_csv_header(std::cout, cfg.cmp.fault.enabled);
+      harness::write_csv_row(result, std::cout, cfg.cmp.fault.enabled);
     } else if (args.has("json")) {
       harness::write_json(result, std::cout);
     } else {

@@ -67,6 +67,37 @@ INSTANTIATE_TEST_SUITE_P(
       return workloads::registry()[info.param].name;
     });
 
+// Fault injection is part of the determinism contract too: the injector
+// derives every fate from (seed, wire, cycle) alone, so a faulted run
+// must replay bit-identically — including every recovery action and the
+// FaultStats ledger.
+harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
+                               std::uint64_t seed) {
+  auto wl = entry.make(0.25);
+  harness::RunConfig cfg;
+  cfg.policy.highly_contended = locks::LockKind::kGlock;
+  cfg.seed = seed;
+  cfg.cmp.fault.enabled = true;
+  cfg.cmp.fault.seed = seed * 31 + 5;
+  cfg.cmp.fault.drop_rate = 1e-3;
+  cfg.cmp.fault.garble_rate = 1e-3;
+  cfg.cmp.fault.delay_rate = 1e-3;
+  cfg.cmp.fault.noise_rate = 1e-3;
+  cfg.cmp.fault.stuck_rate = 1e-4;
+  return harness::run_workload(*wl, cfg);
+}
+
+TEST_P(EveryWorkload, FaultedRunsAreBitIdentical) {
+  const auto& entry = workloads::registry()[GetParam()];
+  const auto serial = run_faulted(entry, 11);
+  const auto repeats = exec::parallel_map<harness::RunResult>(
+      2, 2, [&](std::size_t) { return run_faulted(entry, 11); });
+  for (const auto& r : repeats) {
+    const std::string diff = test::diff_results(serial, r);
+    EXPECT_EQ(diff, "") << entry.name << " (faulted): " << diff;
+  }
+}
+
 exec::SweepSpec small_grid(unsigned jobs) {
   exec::SweepSpec spec;
   spec.workloads = {"SCTR", "MCTR"};
@@ -92,6 +123,29 @@ TEST(SweepDeterminism, ParallelCsvIsByteIdenticalToSerial) {
       static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
   EXPECT_EQ(lines, exec::sweep_size(small_grid(1)) + 1);
   EXPECT_EQ(csv.back(), '\n');
+}
+
+TEST(SweepDeterminism, FaultedSweepCsvIsByteIdenticalAcrossJobs) {
+  auto make = [](unsigned jobs) {
+    auto spec = small_grid(jobs);
+    spec.fault.enabled = true;
+    spec.fault.seed = 99;
+    spec.fault.drop_rate = 1e-3;
+    spec.fault.garble_rate = 1e-3;
+    spec.fault.delay_rate = 1e-3;
+    spec.fault.noise_rate = 1e-3;
+    return spec;
+  };
+  std::ostringstream serial, parallel;
+  exec::run_sweep(make(1), serial);
+  exec::run_sweep(make(4), parallel);
+  ASSERT_FALSE(serial.str().empty());
+  EXPECT_EQ(serial.str(), parallel.str());
+  // The fault columns are present exactly when the plan is enabled.
+  EXPECT_NE(serial.str().find("faults_injected"), std::string::npos);
+  std::ostringstream clean;
+  exec::run_sweep(small_grid(1), clean);
+  EXPECT_EQ(clean.str().find("faults_injected"), std::string::npos);
 }
 
 TEST(SweepDeterminism, SeedAxisExpandsTheGrid) {

@@ -72,6 +72,27 @@ inline std::string diff_results(const harness::RunResult& a,
   GLOCKS_DIFF_FIELD(gline.releases);
   GLOCKS_DIFF_FIELD(gline.secondary_passes);
 
+  GLOCKS_DIFF_FIELD(fault.enabled);
+  for (std::size_t k = 0; k < fault::kNumFaultKinds; ++k) {
+    GLOCKS_DIFF_FIELD(fault.injected[k]);
+  }
+  GLOCKS_DIFF_FIELD(fault.detected);
+  GLOCKS_DIFF_FIELD(fault.tolerated);
+  GLOCKS_DIFF_FIELD(fault.retransmissions);
+  GLOCKS_DIFF_FIELD(fault.watchdog_timeouts);
+  GLOCKS_DIFF_FIELD(fault.spurious_retransmissions);
+  GLOCKS_DIFF_FIELD(fault.rx_discards);
+  GLOCKS_DIFF_FIELD(fault.duplicate_frames);
+  GLOCKS_DIFF_FIELD(fault.link_failures);
+  GLOCKS_DIFF_FIELD(fault.fallback_demotions);
+  GLOCKS_DIFF_FIELD(fault.fallback_acquires);
+  GLOCKS_DIFF_FIELD(fault.detection_latency_sum);
+  GLOCKS_DIFF_FIELD(fault.detection_count);
+  for (std::uint32_t bin = 0; bin <= a.fault.detection_latency.max_bin();
+       ++bin) {
+    GLOCKS_DIFF_FIELD(fault.detection_latency.count(bin));
+  }
+
   GLOCKS_DIFF_FIELD(energy.cores);
   GLOCKS_DIFF_FIELD(energy.l1);
   GLOCKS_DIFF_FIELD(energy.l2_dir);
