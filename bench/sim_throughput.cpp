@@ -1,0 +1,134 @@
+// Simulator-throughput benchmark: times the fig08/fig09 grid (every
+// registry workload under MCS and GLock at 32 cores) under the serial
+// tick-everything kernel and the event-driven kernel, checks the two
+// agree on every headline metric, and reports the wall-clock speedup.
+//
+//   sim_throughput [--scale X] [--cores N] [--out PATH]
+//
+// Emits BENCH_sim_throughput.json (or --out) with both modes' SimPerf
+// payloads plus the speedup; scripts/bench_throughput.sh and the CI
+// perf-smoke job compare that file against the committed baseline with a
+// generous tolerance. Runs are strictly sequential so the wall times are
+// not polluted by sibling simulations competing for cores.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "perf/perf.hpp"
+
+namespace {
+
+using namespace glocks;
+
+harness::RunResult run_point(const std::string& workload,
+                             locks::LockKind hc, std::uint32_t cores,
+                             double scale, EngineMode mode) {
+  auto wl = workloads::make_workload(workload, scale);
+  harness::RunConfig cfg = bench::paper_config(hc);
+  cfg.cmp.num_cores = cores;
+  cfg.cmp.engine_mode = mode;
+  return harness::run_workload(*wl, cfg);
+}
+
+/// The metrics the two kernels must agree on exactly. The full
+/// field-by-field contract lives in tests/engine_event_test.cpp; this is
+/// the benchmark's own sanity gate so a throughput number can never be
+/// reported for a run that diverged.
+bool same_results(const harness::RunResult& a,
+                  const harness::RunResult& b) {
+  return a.cycles == b.cycles && a.uops == b.uops &&
+         a.gline_spin_cycles == b.gline_spin_cycles &&
+         a.category_cycles == b.category_cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::uint32_t cores = 32;
+  std::string out_path = "BENCH_sim_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (flag == "--cores" && i + 1 < argc) {
+      cores = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: sim_throughput [--scale X] [--cores N] "
+                   "[--out PATH]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "Simulator throughput: event-driven kernel vs serial reference");
+  std::printf("grid: every registry workload x {MCS, GLock} at %u cores, "
+              "scale %.2f\n\n", cores, scale);
+
+  const auto& reg = workloads::registry();
+  const locks::LockKind kinds[] = {locks::LockKind::kMcs,
+                                   locks::LockKind::kGlock};
+
+  perf::SimPerf serial_agg, event_agg;
+  bool identical = true;
+  std::printf("%-7s %-5s %10s %10s %8s  %s\n", "bench", "lock",
+              "serial_s", "event_s", "speedup", "agree");
+  for (const auto& entry : reg) {
+    for (const auto hc : kinds) {
+      const auto s =
+          run_point(entry.name, hc, cores, scale, EngineMode::kSerial);
+      const auto e = run_point(entry.name, hc, cores, scale,
+                               EngineMode::kEventDriven);
+      serial_agg.add(s.perf);
+      event_agg.add(e.perf);
+      const bool agree = same_results(s, e);
+      identical = identical && agree;
+      std::printf("%-7s %-5s %10.3f %10.3f %7.2fx  %s\n",
+                  entry.name.c_str(),
+                  hc == locks::LockKind::kMcs ? "MCS" : "GL",
+                  s.perf.wall_seconds, e.perf.wall_seconds,
+                  s.perf.wall_seconds /
+                      (e.perf.wall_seconds > 0 ? e.perf.wall_seconds
+                                               : 1e-9),
+                  agree ? "yes" : "NO — RESULTS DIVERGED");
+    }
+  }
+
+  const double speedup =
+      event_agg.wall_seconds > 0
+          ? serial_agg.wall_seconds / event_agg.wall_seconds
+          : 0.0;
+  std::printf("\nserial: %s", serial_agg.summary().c_str());
+  std::printf("event:  %s", event_agg.summary().c_str());
+  std::printf("\naggregate speedup: %.2fx  (skip fraction %.1f%%)\n",
+              speedup, 100.0 * event_agg.skip_fraction());
+  if (!identical) {
+    std::printf("ERROR: event kernel diverged from the serial "
+                "reference; throughput numbers are void.\n");
+  }
+
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n";
+  json << "  \"bench\": \"sim_throughput\",\n";
+  json << "  \"cores\": " << cores << ",\n";
+  json << "  \"scale\": " << scale << ",\n";
+  json << "  \"grid_points\": " << reg.size() * 2 << ",\n";
+  json << "  \"identical\": " << (identical ? "true" : "false") << ",\n";
+  json << "  \"speedup\": " << speedup << ",\n";
+  json << "  \"serial\": ";
+  serial_agg.write_json(json, 2);
+  json << ",\n  \"event\": ";
+  event_agg.write_json(json, 2);
+  json << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return identical ? 0 : 1;
+}

@@ -41,6 +41,20 @@ std::uint32_t CmpConfig::mesh_height() const {
   return (num_cores + w - 1) / w;
 }
 
+Cycle CmpConfig::effective_drain_budget() const {
+  if (drain_budget != 0) return drain_budget;
+  // Worst-case settle time of one in-flight transaction: a full-diameter
+  // mesh traversal per protocol leg (request, forward/invalidate, ack,
+  // reply), cache lookups at both ends, and a memory fetch plus
+  // writeback. The 64x margin covers queueing behind every other core's
+  // traffic; a drain that outlives this is stuck, not slow.
+  const Cycle hop = noc.router_latency + noc.link_latency;
+  const Cycle diameter = (mesh_width() + mesh_height()) * hop;
+  const Cycle txn = 4 * diameter + 2 * memory_latency + l2.tag_latency +
+                    l2.data_latency + l1.access_latency;
+  return 64 * txn + 16 * num_cores;
+}
+
 void CmpConfig::validate() const {
   GLOCKS_CHECK(num_cores >= 1, "need at least one core");
   GLOCKS_CHECK(num_cores <= 1024, "mesh model capped at 1024 cores");

@@ -136,6 +136,24 @@ struct CmpConfig {
   /// Hard stop for runaway simulations.
   Cycle max_cycles = 2'000'000'000;
 
+  /// Scheduling discipline of the simulation kernel. kEventDriven (the
+  /// default) skips cycles where every component is dormant; kSerial is
+  /// the original tick-everything loop, kept as the reference the
+  /// determinism suite compares against. Results are bit-identical.
+  EngineMode engine_mode = EngineMode::kEventDriven;
+
+  /// Budget for the post-run drain phase (flushing in-flight coherence
+  /// traffic and letting the G-line network settle). 0 means "derive
+  /// from the machine geometry" — see effective_drain_budget().
+  Cycle drain_budget = 0;
+
+  /// The drain budget actually applied: `drain_budget` when non-zero,
+  /// else a bound computed from the worst-case round trip (memory
+  /// latency, full-diameter mesh traversals, cache lookups) with a wide
+  /// safety margin. Any drain that exceeds this signals stuck protocol
+  /// state, not a slow drain.
+  Cycle effective_drain_budget() const;
+
   /// Mesh width: cores are laid out on the smallest WxH grid with W >= H.
   std::uint32_t mesh_width() const;
   std::uint32_t mesh_height() const;

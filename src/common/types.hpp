@@ -24,6 +24,19 @@ using Word = std::uint64_t;
 inline constexpr Cycle kNoCycle = ~Cycle{0};
 inline constexpr CoreId kNoCore = ~CoreId{0};
 
+/// Scheduling discipline of the simulation kernel.
+///
+/// kEventDriven keeps an active set plus a wake queue and fast-forwards
+/// the clock across spans where every component is dormant; kSerial ticks
+/// every component every cycle (the original loop, kept as the reference
+/// the determinism suite compares against). Both produce bit-identical
+/// results — see docs/simulation_model.md, "Event-driven kernel &
+/// dormancy contract".
+enum class EngineMode : std::uint8_t {
+  kEventDriven,
+  kSerial,
+};
+
 /// Cache line geometry used throughout (paper Table II: 64-byte lines).
 inline constexpr std::uint32_t kLineBytes = 64;
 inline constexpr std::uint32_t kLineShift = 6;

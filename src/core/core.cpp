@@ -5,7 +5,22 @@
 namespace glocks::core {
 
 Core::Core(CoreId id, std::uint32_t num_glocks, std::uint32_t num_gbarriers)
-    : id_(id), lock_regs_(num_glocks), barrier_regs_(num_gbarriers) {}
+    : id_(id), lock_regs_(num_glocks), barrier_regs_(num_gbarriers) {
+  lock_regs_.owner = this;
+  barrier_regs_.owner = this;
+  sb_station_.owner = this;
+  qolb_station_.owner = this;
+}
+
+void Core::set_wake_targets(sim::Component* gline_system,
+                            sim::Component* census) {
+  gline_system_ = gline_system;
+  census_ = census;
+  if (ctx_ != nullptr) {
+    ctx_->gline_system = gline_system_;
+    ctx_->census = census_;
+  }
+}
 
 void Core::bind(std::uint32_t thread_id, std::uint32_t num_threads,
                 mem::L1Cache& l1,
@@ -20,8 +35,12 @@ void Core::bind(std::uint32_t thread_id, std::uint32_t num_threads,
   ctx_->barrier_regs = &barrier_regs_;
   ctx_->sb_station = &sb_station_;
   ctx_->qolb_station = &qolb_station_;
+  ctx_->core_component = this;
+  ctx_->gline_system = gline_system_;
+  ctx_->census = census_;
   api_ = std::make_unique<ThreadApi>(*ctx_);
   body_ = make_body(*api_);
+  wake();  // an unbound core sleeps; a freshly bound thread has work
 }
 
 void Core::resume(Cycle now) {
@@ -41,8 +60,50 @@ void Core::resume(Cycle now) {
   }
 }
 
+void Core::go_dormant(Cycle now) {
+  using Wait = ThreadContext::Wait;
+  dormant_ = true;
+  last_tick_ = now;
+  dormant_wait_ = ctx_->wait;
+  Category charge = ctx_->category;
+  if (charge == Category::kBusy && dormant_wait_ == Wait::kMem) {
+    charge = Category::kMemory;
+  }
+  dormant_charge_ = static_cast<std::size_t>(charge);
+  // The wait states whose serial tick increments gline_spin_cycles while
+  // the condition is still false (kGlineRel does not spin-count).
+  dormant_spin_ = dormant_wait_ == Wait::kGlineReq ||
+                  dormant_wait_ == Wait::kGBarrier ||
+                  dormant_wait_ == Wait::kSbWait ||
+                  dormant_wait_ == Wait::kQolbAcq ||
+                  dormant_wait_ == Wait::kQolbRel;
+  if (dormant_wait_ == Wait::kCompute) {
+    sleep_until(now + ctx_->compute_remaining);  // self-timed
+  } else {
+    sleep();  // the completing hardware / callback delivers the wake
+  }
+}
+
 void Core::tick(Cycle now) {
-  if (ctx_ == nullptr || ctx_->finished) return;
+  if (ctx_ == nullptr || ctx_->finished) {
+    sleep();
+    return;
+  }
+
+  if (dormant_) {
+    // Replay the cycles the kernel skipped: under the serial loop each of
+    // them would have charged one cycle to the category captured at
+    // sleep time (and spun / counted down compute where applicable).
+    dormant_ = false;
+    const Cycle missed = now - last_tick_ - 1;
+    if (missed > 0) {
+      ctx_->cycles[dormant_charge_] += missed;
+      if (dormant_spin_) ctx_->gline_spin_cycles += missed;
+      if (dormant_wait_ == ThreadContext::Wait::kCompute) {
+        ctx_->compute_remaining -= missed;
+      }
+    }
+  }
 
   // Attribute this live cycle (paper Figure 8 breakdown). Lock/Barrier
   // scopes dominate; otherwise blocked-on-memory cycles are Memory and
@@ -122,6 +183,19 @@ void Core::tick(Cycle now) {
       }
       break;
   }
+
+  if (ctx_->finished) {
+    if (!finish_reported_) {
+      finish_reported_ = true;
+      if (on_finish_) on_finish_();
+    }
+    sleep();
+    return;
+  }
+  // kReady means the thread runs again next cycle; every other wait state
+  // has a guaranteed wake (compute timer, completion callback, or the
+  // register-clearing hardware), so the skipped cycles can be replayed.
+  if (ctx_->wait != ThreadContext::Wait::kReady) go_dormant(now);
 }
 
 }  // namespace glocks::core

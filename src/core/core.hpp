@@ -33,6 +33,7 @@ class Core final : public sim::Component {
             mem::L1Cache& l1,
             const std::function<Task<void>(ThreadApi&)>& make_body);
 
+  bool bound() const { return ctx_ != nullptr; }
   bool finished() const { return ctx_ == nullptr || ctx_->finished; }
   const ThreadContext& context() const { return *ctx_; }
   ThreadContext& context() { return *ctx_; }
@@ -41,10 +42,26 @@ class Core final : public sim::Component {
   mem::SbStation& sb_station() { return sb_station_; }
   mem::QolbStation& qolb_station() { return qolb_station_; }
 
+  /// Components the thread's awaiters must wake when they hand off work
+  /// (the G-line network consuming lock/barrier registers, the census
+  /// sampler). Copied into the ThreadContext at bind time.
+  void set_wake_targets(sim::Component* gline_system, sim::Component* census);
+
+  /// Called exactly once, from inside tick(), when the bound thread's
+  /// coroutine returns; the harness counts these so run() terminates on a
+  /// counter instead of scanning every core each cycle.
+  void set_finish_listener(std::function<void()> f) {
+    on_finish_ = std::move(f);
+  }
+
   void tick(Cycle now) override;
 
  private:
   void resume(Cycle now);
+  /// Leaves the active set, recording what each skipped cycle would have
+  /// been charged under the serial loop so the catch-up in tick() can
+  /// reproduce the per-cycle accounting exactly.
+  void go_dormant(Cycle now);
 
   CoreId id_;
   LockRegisters lock_regs_;
@@ -55,6 +72,18 @@ class Core final : public sim::Component {
   std::unique_ptr<ThreadApi> api_;
   Task<void> body_;
   bool started_ = false;
+
+  sim::Component* gline_system_ = nullptr;
+  sim::Component* census_ = nullptr;
+  std::function<void()> on_finish_;
+  bool finish_reported_ = false;
+
+  // Dormancy catch-up state (meaningful only while dormant_ is set).
+  bool dormant_ = false;
+  bool dormant_spin_ = false;          ///< skipped cycles spin a register
+  std::size_t dormant_charge_ = 0;     ///< Category index charged per cycle
+  ThreadContext::Wait dormant_wait_ = ThreadContext::Wait::kReady;
+  Cycle last_tick_ = 0;                ///< cycle of the tick that slept
 };
 
 }  // namespace glocks::core

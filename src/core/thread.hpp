@@ -49,6 +49,9 @@ struct LockRegisters {
       : req(num_glocks, false), rel(num_glocks, false) {}
   std::vector<bool> req;
   std::vector<bool> rel;
+  /// The core spinning on these registers; whoever clears a flag wakes it
+  /// so the event-driven kernel re-ticks the (possibly dormant) spinner.
+  sim::Component* owner = nullptr;
 };
 
 /// Architectural registers for the G-line barrier network ([22]): the
@@ -59,6 +62,8 @@ struct BarrierRegisters {
       : arrive(num_units, false), wait(num_units, false) {}
   std::vector<bool> arrive;
   std::vector<bool> wait;
+  /// The core spinning on `wait`; cleared-by-hardware flags wake it.
+  sim::Component* owner = nullptr;
 };
 
 /// Everything the Core needs to schedule one simulated thread.
@@ -88,6 +93,13 @@ struct ThreadContext {
   /// Optional observers (attached by the harness when tracing is on).
   trace::Tracer* tracer = nullptr;
   const sim::Engine* engine = nullptr;
+
+  // Wake targets for the event-driven kernel (null-safe: Component::wake
+  // is a no-op on an unregistered component, and these stay null in unit
+  // tests that drive subsystems without a full CmpSystem).
+  sim::Component* core_component = nullptr;  ///< the Core running this thread
+  sim::Component* gline_system = nullptr;    ///< consumer of lock/barrier regs
+  sim::Component* census = nullptr;          ///< contention census sampler
 
   Wait wait = Wait::kReady;
   std::coroutine_handle<> resume_point;
@@ -136,6 +148,7 @@ struct Mem {
     ctx.l1->issue(op, [c](Word result) {
       c->mem_result = result;
       c->wait = ThreadContext::Wait::kReady;
+      if (c->core_component != nullptr) c->core_component->wake();
     });
   }
   Word await_resume() const noexcept { return ctx.mem_result; }
@@ -155,6 +168,7 @@ struct GBarrierOp {
     ctx.barrier_regs->wait[unit] = true;   // armed before announcing
     ctx.barrier_regs->arrive[unit] = true;
     ctx.wait = ThreadContext::Wait::kGBarrier;
+    if (ctx.gline_system != nullptr) ctx.gline_system->wake();
   }
   void await_resume() const noexcept {}
 };
@@ -267,6 +281,7 @@ struct GlineOp {
       ctx.lock_regs->req[glock] = true;
       ctx.wait = ThreadContext::Wait::kGlineReq;
     }
+    if (ctx.gline_system != nullptr) ctx.gline_system->wake();
   }
   void await_resume() const noexcept {}
 };

@@ -40,7 +40,8 @@ std::size_t sweep_size(const SweepSpec& spec) {
          spec.core_counts.size() * spec.seeds.size();
 }
 
-void run_sweep(const SweepSpec& spec, std::ostream& os) {
+void run_sweep(const SweepSpec& spec, std::ostream& os,
+               perf::SimPerf* perf_out) {
   GLOCKS_CHECK(sweep_size(spec) > 0,
                "empty sweep grid: every axis needs at least one value");
   const std::vector<GridPoint> grid = expand(spec);
@@ -48,6 +49,11 @@ void run_sweep(const SweepSpec& spec, std::ostream& os) {
   os << "cores,seed,";
   harness::write_csv_header(os, spec.fault.enabled);
   os.flush();
+
+  // Per-point slots, folded after the join: workers write disjoint
+  // indices, so no locking is needed and the fold order is grid order
+  // (deterministic) regardless of completion order.
+  std::vector<perf::SimPerf> perfs(perf_out != nullptr ? grid.size() : 0);
 
   OrderedEmitter emitter(os, grid.size());
   // Each grid point builds its own machine inside run_workload — no
@@ -67,11 +73,15 @@ void run_sweep(const SweepSpec& spec, std::ostream& os) {
     }
     auto wl = workloads::make_workload(p.workload, spec.scale);
     const auto r = harness::run_workload(*wl, cfg);
+    if (perf_out != nullptr) perfs[i] = r.perf;
     std::ostringstream row;
     row << p.cores << ',' << p.seed << ',';
     harness::write_csv_row(r, row, spec.fault.enabled);
     emitter.emit(i, row.str());
   });
+  if (perf_out != nullptr) {
+    for (const auto& p : perfs) perf_out->add(p);
+  }
 }
 
 }  // namespace glocks::exec

@@ -13,6 +13,7 @@
 
 #include "common/config.hpp"
 #include "locks/factory.hpp"
+#include "perf/perf.hpp"
 
 namespace glocks::exec {
 
@@ -38,6 +39,10 @@ std::size_t sweep_size(const SweepSpec& spec);
 /// point prefixed with `cores` and `seed` columns) to `os`. Rows appear
 /// as the complete grid prefix finishes — never interleaved, always in
 /// grid order. Throws on the first failing run (lowest grid index).
-void run_sweep(const SweepSpec& spec, std::ostream& os);
+/// When `perf_out` is non-null it receives the per-run simulator-perf
+/// measurements folded across the grid (--perf); wall_seconds there sums
+/// per-run time, so it exceeds elapsed time when jobs overlap.
+void run_sweep(const SweepSpec& spec, std::ostream& os,
+               perf::SimPerf* perf_out = nullptr);
 
 }  // namespace glocks::exec

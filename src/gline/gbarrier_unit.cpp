@@ -57,6 +57,7 @@ void GBarrierUnit::tick(Cycle now) {
       case LcState::kArrived:
         if (lc.down.poll(now)) {
           regs.wait[unit_] = false;  // unblocks the core's register spin
+          if (regs.owner != nullptr) regs.owner->wake();
           lc.state = LcState::kIdle;
         }
         break;
@@ -93,6 +94,20 @@ void GBarrierUnit::tick(Cycle now) {
     ++stats_.episodes;
     for (auto& row : rows_) record_pulse(row.down, now);
   }
+}
+
+bool GBarrierUnit::dormant() const {
+  for (const auto& lc : lcs_) {
+    if (!lc.up.idle() || !lc.down.idle()) return false;
+    if (lc.state == LcState::kIdle && regs_[lc.core]->arrive[unit_]) {
+      return false;
+    }
+  }
+  for (const auto& row : rows_) {
+    if (!row.up.idle() || !row.down.idle()) return false;
+    if (!row.reported && row.arrived == row.members.size()) return false;
+  }
+  return rows_arrived_ != rows_.size();
 }
 
 bool GBarrierUnit::idle() const {

@@ -50,6 +50,12 @@ class GBarrierUnit {
   std::uint32_t num_glines() const { return num_glines_; }
   bool idle() const;
 
+  /// True when a tick would change nothing: no pulse in flight and no
+  /// controller/aggregator with an actionable input. A partially-arrived
+  /// barrier is dormant; the next core's arrive-register write wakes the
+  /// G-line system. Used by the event-driven kernel only.
+  bool dormant() const;
+
  private:
   enum class LcState : std::uint8_t { kIdle, kArrived };
 

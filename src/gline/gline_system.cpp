@@ -61,6 +61,23 @@ void GlineSystem::tick(Cycle now) {
   for (auto& u : hier_units_) u->tick(now);
   for (auto& u : guarded_units_) u->tick(now);
   for (auto& b : barriers_) b->tick(now);
+  // Fault runs never sleep: the injector's schedule advances with the
+  // clock, independent of protocol activity. Otherwise the cores' lock
+  // and barrier register writes wake us (thread.hpp awaiters).
+  if (injector_ == nullptr && dormant()) sleep();
+}
+
+bool GlineSystem::dormant() const {
+  for (const auto& u : units_) {
+    if (!u->dormant()) return false;
+  }
+  for (const auto& u : hier_units_) {
+    if (!u->dormant()) return false;
+  }
+  for (const auto& b : barriers_) {
+    if (!b->dormant()) return false;
+  }
+  return true;
 }
 
 GlineStats GlineSystem::total_stats() const {

@@ -60,6 +60,10 @@ class GlineSystem final : public sim::Component {
   GBarrierStats total_barrier_stats() const;
   bool idle() const;
 
+  /// True when every lock unit and barrier is dormant (a tick would be a
+  /// no-op). Always false in fault mode — the injector needs the clock.
+  bool dormant() const;
+
   /// Health board consulted by the lock factory; null when faults are
   /// disabled.
   fault::GlockHealth* health() { return health_.get(); }

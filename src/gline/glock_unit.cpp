@@ -59,6 +59,7 @@ void GlockUnit::tick_local(LocalCtl& lc, Cycle now) {
     case LcState::kWaiting:
       if (lc.down.poll(now)) {  // TOKEN
         regs.req[glock_] = false;  // unblocks the core's register spin
+        if (regs.owner != nullptr) regs.owner->wake();
         lc.state = LcState::kHolding;
         ++stats_.acquires_granted;
       }
@@ -67,6 +68,7 @@ void GlockUnit::tick_local(LocalCtl& lc, Cycle now) {
       if (regs.rel[glock_]) {
         record_pulse(lc.up, now);  // REL
         regs.rel[glock_] = false;
+        if (regs.owner != nullptr) regs.owner->wake();
         lc.state = LcState::kIdle;
         ++stats_.releases;
       }
@@ -165,6 +167,31 @@ std::optional<CoreId> GlockUnit::holder() const {
     if (lc.state == LcState::kHolding) return lc.core;
   }
   return std::nullopt;
+}
+
+bool GlockUnit::dormant() const {
+  for (const auto& lc : lcs_) {
+    if (!lc.up.idle() || !lc.down.idle()) return false;
+    const auto& regs = *regs_[lc.core];
+    if (lc.state == LcState::kIdle && regs.req[glock_]) return false;
+    if (lc.state == LcState::kHolding && regs.rel[glock_]) return false;
+  }
+  for (const auto& row : rows_) {
+    if (!row.up.idle() || !row.down.idle()) return false;
+    // A token-holding manager that is free to schedule will either grant
+    // or hand the token back next tick; a token-less one with pending
+    // flags will request it.
+    if (row.has_token && row.granted == -1) return false;
+    if (!row.has_token && !row.requested &&
+        std::find(row.fx.begin(), row.fx.end(), true) != row.fx.end()) {
+      return false;
+    }
+  }
+  if (token_home_ &&
+      std::find(fs_.begin(), fs_.end(), true) != fs_.end()) {
+    return false;
+  }
+  return true;
 }
 
 bool GlockUnit::idle() const {

@@ -61,6 +61,13 @@ class GlockUnit {
   /// True when no request, grant or release is anywhere in flight.
   bool idle() const;
 
+  /// True when ticking the unit would change nothing: no pulse in flight
+  /// on any wire and no controller with an actionable input. Unlike
+  /// idle(), a quietly-held lock is dormant — the holding controller only
+  /// acts again once its core sets the release register (which wakes the
+  /// G-line system). Used by the event-driven kernel only.
+  bool dormant() const;
+
  private:
   enum class LcState : std::uint8_t { kIdle, kWaiting, kHolding };
 

@@ -109,6 +109,7 @@ void GuardedGlockUnit::tick_leaf(Leaf& lf, Cycle now) {
                                                  << " granted while held");
         ++holder_count_;
         regs.req[glock_] = false;  // unblocks the core's register spin
+        if (regs.owner != nullptr) regs.owner->wake();
         lf.state = LcState::kHolding;
         ++stats_.acquires_granted;
       }
@@ -117,6 +118,7 @@ void GuardedGlockUnit::tick_leaf(Leaf& lf, Cycle now) {
       if (regs.rel[glock_]) {
         lf.ch->send(0, Sym::kRel);
         regs.rel[glock_] = false;
+        if (regs.owner != nullptr) regs.owner->wake();
         lf.state = LcState::kIdle;
         --holder_count_;
         ++stats_.releases;
@@ -212,8 +214,10 @@ void GuardedGlockUnit::flush_registers() {
   // observes the demoted flag and takes the software lock instead, so
   // these "grants" confer no exclusive ownership.
   for (auto* regs : regs_) {
-    if (regs->req[glock_]) regs->req[glock_] = false;
-    if (regs->rel[glock_]) regs->rel[glock_] = false;
+    const bool pending = regs->req[glock_] || regs->rel[glock_];
+    regs->req[glock_] = false;
+    regs->rel[glock_] = false;
+    if (pending && regs->owner != nullptr) regs->owner->wake();
   }
 }
 

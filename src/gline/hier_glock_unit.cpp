@@ -129,6 +129,7 @@ void HierGlockUnit::tick(Cycle now) {
       case LcState::kWaiting:
         if (lc.down.poll(now)) {
           regs.req[glock_] = false;
+          if (regs.owner != nullptr) regs.owner->wake();
           lc.state = LcState::kHolding;
           ++stats_.acquires_granted;
         }
@@ -137,6 +138,7 @@ void HierGlockUnit::tick(Cycle now) {
         if (regs.rel[glock_]) {
           record_pulse(lc.up, now);
           regs.rel[glock_] = false;
+          if (regs.owner != nullptr) regs.owner->wake();
           lc.state = LcState::kIdle;
           ++stats_.releases;
         }
@@ -151,6 +153,28 @@ std::optional<CoreId> HierGlockUnit::holder() const {
     if (lc.state == LcState::kHolding) return lc.core;
   }
   return std::nullopt;
+}
+
+bool HierGlockUnit::dormant() const {
+  for (const auto& lc : lcs_) {
+    if (!lc.up.idle() || !lc.down.idle()) return false;
+    const auto& regs = *regs_[lc.core];
+    if (lc.state == LcState::kIdle && regs.req[glock_]) return false;
+    if (lc.state == LcState::kHolding && regs.rel[glock_]) return false;
+  }
+  for (const auto& n : nodes_) {
+    if (!n.up.idle() || !n.down.idle()) return false;
+    const bool any_pending =
+        std::find(n.fx.begin(), n.fx.end(), true) != n.fx.end();
+    if (n.has_token && n.granted == -1) {
+      // A free-to-schedule non-root either grants or returns the token
+      // next tick. The root only acts when a flag is pending — but a
+      // stale scan position still gets reset by the next tick.
+      if (!n.is_root || any_pending || n.pos != 0) return false;
+    }
+    if (!n.has_token && !n.requested && any_pending) return false;
+  }
+  return true;
 }
 
 bool HierGlockUnit::idle() const {

@@ -46,6 +46,11 @@ class HierGlockUnit {
   std::optional<CoreId> holder() const;
   bool idle() const;
 
+  /// True when a tick would change nothing (see GlockUnit::dormant).
+  /// A held lock is dormant; the core's release-register write wakes the
+  /// G-line system. Used by the event-driven kernel only.
+  bool dormant() const;
+
  private:
   enum class LcState : std::uint8_t { kIdle, kWaiting, kHolding };
 

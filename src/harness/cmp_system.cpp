@@ -41,7 +41,7 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
     cores_.push_back(std::make_unique<core::Core>(c, cfg.gline.num_glocks,
                                                   cfg.gline.num_gbarriers));
-    engine_.add(*cores_.back());
+    engine_.add(*cores_.back(), "core" + std::to_string(c));
     regs.push_back(&cores_.back()->lock_registers());
     barrier_regs.push_back(&cores_.back()->barrier_registers());
   }
@@ -51,8 +51,12 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
   }
   glines_ = std::make_unique<gline::GlineSystem>(cfg, std::move(regs),
                                                  std::move(barrier_regs));
-  engine_.add(*glines_);
-  engine_.add(census_);
+  engine_.add(*glines_, "glines");
+  engine_.add(census_, "census");
+  for (auto& c : cores_) {
+    c->set_wake_targets(glines_.get(), &census_);
+    c->set_finish_listener([this] { ++finished_count_; });
+  }
   engine_.set_hang_reporter([this] { return hang_report(); });
 }
 
@@ -101,13 +105,18 @@ bool CmpSystem::all_threads_finished() const {
 }
 
 Cycle CmpSystem::run() {
+  std::uint32_t bound = 0;
+  for (const auto& c : cores_) {
+    if (c->bound()) ++bound;
+  }
   const Cycle end = engine_.run_until(
-      [this] { return all_threads_finished(); }, cfg_.max_cycles);
+      [this, bound] { return finished_count_ == bound; }, cfg_.max_cycles);
   // Drain writebacks / in-flight protocol messages so post-run memory
-  // verification sees settled state.
+  // verification sees settled state. The budget scales with the machine
+  // (config-derived round-trip bound) instead of a flat constant.
   engine_.run_until(
       [this] { return hierarchy_.quiescent() && glines_->idle(); },
-      engine_.now() + 100000);
+      engine_.now() + cfg_.effective_drain_budget(), "post-run drain");
   return end;
 }
 

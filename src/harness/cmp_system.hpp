@@ -52,13 +52,16 @@ class CmpSystem {
 
  private:
   CmpConfig cfg_;
-  sim::Engine engine_;
+  sim::Engine engine_{cfg_.engine_mode};
   noc::Mesh mesh_;
   mem::Hierarchy hierarchy_;
   std::vector<std::unique_ptr<core::Core>> cores_;
   std::unique_ptr<gline::GlineSystem> glines_;
   locks::ContentionCensus census_;
   mem::SimAllocator heap_;
+  /// Cores whose finish listener has fired; run() terminates on this
+  /// counter instead of scanning every core between cycles.
+  std::uint32_t finished_count_ = 0;
 };
 
 }  // namespace glocks::harness

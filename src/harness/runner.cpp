@@ -22,6 +22,7 @@ std::uint64_t RunResult::total_thread_cycles() const {
 }
 
 RunResult run_workload(Workload& workload, const RunConfig& cfg) {
+  const perf::WallTimer timer;
   CmpSystem sys(cfg.cmp);
   WorkloadContext ctx(sys, cfg.policy, cfg.seed);
 
@@ -44,6 +45,7 @@ RunResult run_workload(Workload& workload, const RunConfig& cfg) {
   r.workload = workload.name();
   r.hc_lock_kind = std::string(locks::to_string(cfg.policy.highly_contended));
   r.cycles = sys.run();
+  r.perf = perf::capture(sys.engine(), timer.seconds());
   workload.verify(ctx);
 
   for (CoreId c = 0; c < sys.num_cores(); ++c) {

@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "fault/fault.hpp"
 #include "harness/workload.hpp"
+#include "perf/perf.hpp"
 #include "power/energy_model.hpp"
 
 namespace glocks::harness {
@@ -48,6 +49,11 @@ struct RunResult {
   /// Fault-injection accounting; all-zero (enabled == false) on clean
   /// runs so baseline reports stay byte-identical.
   fault::FaultStats fault;
+
+  /// Simulator self-measurement (wall time, kernel tick/skip counters).
+  /// Reported only behind --perf so default reports stay byte-identical;
+  /// deliberately excluded from the determinism diff — wall time varies.
+  perf::SimPerf perf;
 
   /// Per-lock contention census (paper Figure 7): lock name + histogram
   /// over grAC in [1 .. num_cores].

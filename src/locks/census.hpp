@@ -25,13 +25,28 @@ class ContentionCensus final : public sim::Component {
   void watch(const Lock& lock) {
     lock_stats_.push_back(&lock.stats());
     histograms_.emplace_back(max_requesters_);
+    cached_.push_back(0);
   }
 
-  void tick(Cycle) override {
+  void tick(Cycle now) override {
+    // Requester counts only move inside Lock::acquire, which wakes us, so
+    // the counts were frozen at the cached values across any skipped
+    // cycles: charge those cycles by weight before sampling the new state.
+    if (last_tick_ != kNoCycle && now > last_tick_ + 1) {
+      const std::uint64_t missed = now - last_tick_ - 1;
+      for (std::size_t i = 0; i < cached_.size(); ++i) {
+        if (cached_[i] > 0) {
+          histograms_[i].add(std::min(cached_[i], max_requesters_), missed);
+        }
+      }
+    }
     for (std::size_t i = 0; i < lock_stats_.size(); ++i) {
       const std::uint32_t n = lock_stats_[i]->current_requesters;
+      cached_[i] = n;
       if (n > 0) histograms_[i].add(std::min(n, max_requesters_));
     }
+    last_tick_ = now;
+    sleep();
   }
 
   std::size_t num_locks() const { return lock_stats_.size(); }
@@ -49,6 +64,8 @@ class ContentionCensus final : public sim::Component {
   std::uint32_t max_requesters_;
   std::vector<const LockStats*> lock_stats_;
   std::vector<Histogram> histograms_;
+  std::vector<std::uint32_t> cached_;  ///< requester counts at last_tick_
+  Cycle last_tick_ = kNoCycle;
 };
 
 }  // namespace glocks::locks

@@ -25,8 +25,10 @@ core::Task<void> Lock::acquire(core::ThreadApi& t) {
   core::CategoryScope scope(t, core::Category::kLock);
   const Cycle begin = t.now();
   ++stats_.current_requesters;
+  if (t.context().census != nullptr) t.context().census->wake();
   co_await do_acquire(t);
   --stats_.current_requesters;
+  if (t.context().census != nullptr) t.context().census->wake();
   ++stats_.acquires;
   if (stats_.acquires_by_thread.size() <= t.thread_id()) {
     stats_.acquires_by_thread.resize(t.thread_id() + 1, 0);

@@ -115,6 +115,7 @@ void DirSlice::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
   // keeps inbox ready-times monotonic, so strict FIFO processing preserves
   // the per-(src,dst) ordering the protocol relies on.
   inbox_.push_back(Inbox{ready + cfg_.tag_latency, std::move(msg)});
+  wake_at(inbox_.back().ready);
 }
 
 void DirSlice::start_request(std::unique_ptr<CohMsg> msg, Cycle now) {
@@ -145,6 +146,7 @@ void DirSlice::start_request(std::unique_ptr<CohMsg> msg, Cycle now) {
       read_buf_[line] = data;
       txn.phase = Phase::kReadData;
       txn.wake_at = now + lat;
+      wake_at(txn.wake_at);
     }
   } else {  // kGetX or kUpgrade
     if (msg->type == CohType::kUpgrade) {
@@ -188,12 +190,14 @@ void DirSlice::start_request(std::unique_ptr<CohMsg> msg, Cycle now) {
         read_buf_[line] = data;
         txn.phase = Phase::kReadData;
         txn.wake_at = now + lat;
+        wake_at(txn.wake_at);
       }
     } else {  // kU
       auto [lat, data] = read_line_data(line, now);
       read_buf_[line] = data;
       txn.phase = Phase::kReadData;
       txn.wake_at = now + lat;
+      wake_at(txn.wake_at);
     }
   }
   txns_.emplace(line, txn);
@@ -214,6 +218,7 @@ void DirSlice::after_inv_acks(Addr line, Txn& txn, Cycle now) {
   read_buf_[line] = data;
   txn.phase = Phase::kReadData;
   txn.wake_at = now + lat;
+  wake_at(txn.wake_at);
 }
 
 void DirSlice::finish_read_phase(Addr line, Txn& txn, Cycle now) {
@@ -373,6 +378,11 @@ void DirSlice::tick(Cycle now) {
     inbox_.pop_front();
     handle_msg(std::move(msg), now);
   }
+  // Unconditional dormancy is safe: read phases armed a wake at their
+  // maturity cycle, every queued inbox entry armed one at its ready
+  // cycle, and ack/copyback/deferred progress rides an incoming message
+  // (whose deliver wakes us).
+  sleep();
 }
 
 }  // namespace glocks::mem

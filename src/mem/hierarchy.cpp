@@ -1,6 +1,7 @@
 #include "mem/hierarchy.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -39,11 +40,19 @@ Hierarchy::Hierarchy(const CmpConfig& cfg, noc::Mesh& mesh,
   // Registration order fixes intra-cycle processing order: directories
   // first (they consume requests sent last cycle), then L1s, then the mesh
   // moves packets.
-  for (auto& d : dirs_) engine.add(*d);
-  for (auto& s : sbs_) engine.add(*s);
-  for (auto& q : qolbs_) engine.add(*q);
-  for (auto& c : l1s_) engine.add(*c);
-  engine.add(mesh_);
+  for (CoreId t = 0; t < cfg.num_cores; ++t) {
+    engine.add(*dirs_[t], "dir" + std::to_string(t));
+  }
+  for (CoreId t = 0; t < cfg.num_cores; ++t) {
+    engine.add(*sbs_[t], "sb" + std::to_string(t));
+  }
+  for (CoreId t = 0; t < cfg.num_cores; ++t) {
+    engine.add(*qolbs_[t], "qolb" + std::to_string(t));
+  }
+  for (CoreId t = 0; t < cfg.num_cores; ++t) {
+    engine.add(*l1s_[t], "l1_" + std::to_string(t));
+  }
+  engine.add(mesh_, "mesh");
 }
 
 bool Hierarchy::is_l1_bound(CohType t) {
@@ -75,6 +84,7 @@ void Hierarchy::deliver_local(CoreId tile, std::unique_ptr<CohMsg> msg,
                    "SB grant for lock " << msg->line << " arrived at core "
                                         << tile << " with no waiter");
       station->granted = true;
+      if (station->owner != nullptr) station->owner->wake();
       return;
     }
     case CohType::kQolbEnq:

@@ -58,10 +58,12 @@ void L1Cache::issue(const MemOp& op, Callback done) {
   pending_ = Pending{op, std::move(done),
                      engine_.now() + cfg_.access_latency, false, false,
                      false};
+  wake_at(pending_->lookup_ready);
 }
 
 void L1Cache::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
   inbox_.push_back(Inbox{ready, std::move(msg)});
+  wake_at(ready);
 }
 
 void L1Cache::send_to_home(Addr line, CohType type, const LineData* data,
@@ -287,8 +289,14 @@ void L1Cache::tick(Cycle now) {
     handle_msg(*msg, now);
   }
 
-  if (!pending_ || pending_->request_sent || now < pending_->lookup_ready)
+  // Unconditional dormancy is safe here: every deferred continuation has
+  // a wake already armed — issue() at lookup_ready, deliver() at each
+  // inbox entry's ready cycle — and a blocked front entry re-arms via
+  // the deliver that queued it.
+  if (!pending_ || pending_->request_sent || now < pending_->lookup_ready) {
+    sleep();
     return;
+  }
 
   const Addr line = line_of(pending_->op.addr);
   Entry* e = find(line);
@@ -296,6 +304,7 @@ void L1Cache::tick(Cycle now) {
   if (e != nullptr && (!is_write || e->state != LineState::kS)) {
     ++stats_.hits;
     complete_with_line(*e, now);
+    sleep();
     return;
   }
   ++stats_.misses;
@@ -308,6 +317,7 @@ void L1Cache::tick(Cycle now) {
   } else {
     send_to_home(line, is_write ? CohType::kGetX : CohType::kGetS);
   }
+  sleep();  // the home's response (via deliver) wakes us
 }
 
 }  // namespace glocks::mem

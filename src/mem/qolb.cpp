@@ -11,6 +11,7 @@ QolbHome::QolbHome(CoreId tile, Transport& transport,
 
 void QolbHome::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
   inbox_.push_back(Inbox{ready + latency_, std::move(msg)});
+  wake_at(inbox_.back().ready);
 }
 
 void QolbHome::send(CoreId dst, CohType type, std::uint32_t lock_id,
@@ -71,6 +72,9 @@ void QolbHome::tick(Cycle now) {
         GLOCKS_UNREACHABLE("QOLB home received " << to_string(msg->type));
     }
   }
+  // Safe unconditionally: every still-queued inbox entry armed a wake at
+  // its ready cycle when it was delivered.
+  sleep();
 }
 
 void qolb_station_on_message(QolbStation& st, const CohMsg& msg,
@@ -83,6 +87,7 @@ void qolb_station_on_message(QolbStation& st, const CohMsg& msg,
                                           << " with no waiter");
       st.granted = true;
       st.holding = true;
+      if (st.owner != nullptr) st.owner->wake();
       break;
     case CohType::kQolbSetSucc:
       GLOCKS_CHECK(st.successor == kNoCore,
@@ -93,6 +98,7 @@ void qolb_station_on_message(QolbStation& st, const CohMsg& msg,
       GLOCKS_CHECK(st.pending_home_release, "stray QOLB RelAck");
       st.pending_home_release = false;
       st.release_done = true;
+      if (st.owner != nullptr) st.owner->wake();
       break;
     case CohType::kQolbRelRetry: {
       // The successor announcement arrived before this (same channel):
@@ -110,6 +116,7 @@ void qolb_station_on_message(QolbStation& st, const CohMsg& msg,
       st.successor = kNoCore;
       st.pending_home_release = false;
       st.release_done = true;
+      if (st.owner != nullptr) st.owner->wake();
       break;
     }
     default:

@@ -51,6 +51,9 @@ struct QolbStation {
   /// One-hop handoffs performed from this station (both the common
   /// direct-release path and the RelRetry race path).
   std::uint64_t direct_grants_sent = 0;
+  /// The core spinning on `granted` / `release_done`; whoever flips a
+  /// spin flag wakes it.
+  sim::Component* owner = nullptr;
 };
 
 struct QolbStats {

@@ -13,6 +13,7 @@ SyncBuffer::SyncBuffer(CoreId tile, Transport& transport,
 
 void SyncBuffer::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
   inbox_.push_back(Inbox{ready + latency_, std::move(msg)});
+  wake_at(inbox_.back().ready);
 }
 
 void SyncBuffer::grant(std::uint32_t lock_id, CoreId to) {
@@ -64,6 +65,9 @@ void SyncBuffer::tick(Cycle now) {
         GLOCKS_UNREACHABLE("sync buffer received " << to_string(msg->type));
     }
   }
+  // Safe unconditionally: every still-queued inbox entry armed a wake at
+  // its ready cycle when it was delivered.
+  sleep();
 }
 
 bool SyncBuffer::quiescent() const { return inbox_.empty(); }

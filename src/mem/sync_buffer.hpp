@@ -33,6 +33,8 @@ struct SbStation {
   bool waiting = false;
   bool granted = false;
   std::uint32_t lock_id = 0;
+  /// The core spinning on `granted`; whoever sets the flag wakes it.
+  sim::Component* owner = nullptr;
 };
 
 struct SbStats {

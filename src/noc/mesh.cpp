@@ -31,7 +31,12 @@ Mesh::Mesh(std::uint32_t num_tiles, std::uint32_t width, NocConfig cfg)
 
 void Mesh::set_sink(CoreId tile, Router::Sink sink) {
   GLOCKS_CHECK(tile < routers_.size(), "sink tile out of range");
-  routers_[tile]->set_sink(std::move(sink));
+  // Wrap the sink so ejection keeps the in-flight census exact — the
+  // dormancy decision below depends on it.
+  routers_[tile]->set_sink([this, s = std::move(sink)](Packet&& p) {
+    --in_flight_;
+    s(std::move(p));
+  });
 }
 
 void Mesh::send(Packet&& p) {
@@ -43,6 +48,8 @@ void Mesh::send(Packet&& p) {
   p.seq = next_seq_++;
   auto& nic = nics_[p.src];
   nic.outbox[static_cast<std::size_t>(p.cls)].push_back(std::move(p));
+  ++in_flight_;
+  wake();  // a dormant mesh has new work (no-op when already active)
 }
 
 void Mesh::send(CoreId src, CoreId dst, MsgClass cls,
@@ -58,8 +65,16 @@ void Mesh::send(CoreId src, CoreId dst, MsgClass cls,
 }
 
 void Mesh::tick(Cycle now) {
-  GLOCKS_CHECK(last_tick_ == kNoCycle || now == last_tick_ + 1,
-               "mesh ticked out of order");
+  if (last_tick_ != kNoCycle) {
+    GLOCKS_CHECK(now > last_tick_, "mesh ticked out of order");
+    const Cycle gap = now - last_tick_ - 1;
+    if (gap > 0) {
+      // The kernel skipped cycles while the network was empty; fold the
+      // missed round-robin rotations in so arbitration order (and every
+      // downstream byte) matches the tick-everything loop.
+      for (auto& r : routers_) r->catch_up(gap);
+    }
+  }
   last_tick_ = now;
   // NICs drain into routers first so an injection made during cycle N-1
   // (endpoint tick) can enter the router fabric at cycle N. Classes
@@ -73,18 +88,9 @@ void Mesh::tick(Cycle now) {
     }
   }
   for (auto& r : routers_) r->tick(now);
-}
-
-bool Mesh::idle() const {
-  for (const auto& nic : nics_) {
-    for (const auto& q : nic.outbox) {
-      if (!q.empty()) return false;
-    }
-  }
-  for (const auto& r : routers_) {
-    if (!r->idle()) return false;
-  }
-  return true;
+  // A non-empty network may move a packet any cycle (and backpressure
+  // resolution has no wake signal), so only an empty one may sleep.
+  if (in_flight_ == 0) sleep();
 }
 
 std::uint32_t Mesh::hop_distance(CoreId a, CoreId b) const {

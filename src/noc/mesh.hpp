@@ -49,7 +49,7 @@ class Mesh final : public sim::Component {
   TrafficStats& stats() { return stats_; }
 
   /// True when no packet is anywhere in the network (for drain tests).
-  bool idle() const;
+  bool idle() const { return in_flight_ == 0; }
 
   /// Minimal hop distance between two tiles.
   std::uint32_t hop_distance(CoreId a, CoreId b) const;
@@ -68,6 +68,9 @@ class Mesh final : public sim::Component {
   std::vector<Nic> nics_;
   std::uint64_t next_seq_ = 0;
   Cycle last_tick_ = kNoCycle;
+  /// Packets anywhere in the network (NIC outboxes + router queues);
+  /// while zero the mesh sleeps and skipped cycles fold into catch_up().
+  std::uint64_t in_flight_ = 0;
 };
 
 }  // namespace glocks::noc

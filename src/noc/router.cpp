@@ -13,6 +13,7 @@ bool Router::inject(Packet&& p, Cycle now) {
   if (q.size() >= timing_.input_queue_depth) return false;
   stats_.record_injection(p.cls);
   q.push_back(Timed{now + 1, std::move(p)});
+  ++occupancy_;
   return true;
 }
 
@@ -27,6 +28,7 @@ void Router::accept(Dir in, Packet&& p, Cycle ready) {
                "router (" << x_ << "," << y_ << ") port " << idx(in)
                           << " overflow");
   q.push_back(Timed{ready, std::move(p)});
+  ++occupancy_;
 }
 
 Dir Router::route(std::uint32_t dst_x, std::uint32_t dst_y) const {
@@ -43,6 +45,7 @@ void Router::forward(Dir out, Packet&& p, Cycle now) {
   stats_.record_hop(p.cls, p.size_bytes);
   if (out == Dir::kLocal) {
     local_out_.push_back(Timed{now + timing_.router_latency, std::move(p)});
+    ++occupancy_;
     return;
   }
   Router* n = neighbors_[idx(out)];
@@ -53,12 +56,20 @@ void Router::forward(Dir out, Packet&& p, Cycle now) {
 }
 
 void Router::tick(Cycle now) {
+  // Empty-router fast path: the only architectural effect of ticking an
+  // empty router is the round-robin rotation.
+  if (occupancy_ == 0) {
+    rr_ = (rr_ + 1) % kSlots;
+    return;
+  }
+
   // Deliver matured local packets (at most one per cycle: the local
   // ejection port has unit bandwidth like every other port).
   if (!local_out_.empty() && local_out_.front().ready <= now) {
     GLOCKS_CHECK(sink_, "router (" << x_ << "," << y_ << ") has no sink");
     Packet p = std::move(local_out_.front().pkt);
     local_out_.pop_front();
+    --occupancy_;
     sink_(std::move(p));
   }
 
@@ -66,7 +77,6 @@ void Router::tick(Cycle now) {
   // each (input port, virtual channel) releases at most its head. The
   // scan starts at a rotating offset over the port x class grid, so no
   // port or class can starve another.
-  constexpr std::size_t kSlots = kNumDirs * kNumMsgClasses;
   bool out_used[kNumDirs] = {};
   for (std::size_t scan = 0; scan < kSlots; ++scan) {
     const std::size_t slot = (rr_ + scan) % kSlots;
@@ -86,18 +96,17 @@ void Router::tick(Cycle now) {
     out_used[idx(out)] = true;
     Packet p = std::move(head);
     q.pop_front();
+    --occupancy_;
     forward(out, std::move(p), now);
   }
   rr_ = (rr_ + 1) % kSlots;
 }
 
-bool Router::idle() const {
-  for (const auto& port : in_) {
-    for (const auto& q : port) {
-      if (!q.empty()) return false;
-    }
-  }
-  return local_out_.empty();
+void Router::catch_up(Cycle gap) {
+  GLOCKS_CHECK(occupancy_ == 0,
+               "router (" << x_ << "," << y_
+                          << ") caught up across cycles while occupied");
+  rr_ = static_cast<std::uint32_t>((rr_ + gap) % kSlots);
 }
 
 }  // namespace glocks::noc

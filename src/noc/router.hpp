@@ -83,8 +83,15 @@ class Router {
   /// One cycle of arbitration + forwarding + local delivery.
   void tick(Cycle now);
 
+  /// Advances the round-robin pointer by `gap` skipped cycles. Only legal
+  /// while the router is empty: an idle tick's sole architectural effect
+  /// is `rr_ = (rr_ + 1) % kSlots`, so a span of idle cycles folds into
+  /// one modular step and arbitration order — and every CSV byte — stays
+  /// identical to the tick-everything loop.
+  void catch_up(Cycle gap);
+
   /// True when every queue (inputs and pending local deliveries) is empty.
-  bool idle() const;
+  bool idle() const { return occupancy_ == 0; }
 
   /// Decides the output direction for a packet destined to tile coords.
   Dir route(std::uint32_t dst_x, std::uint32_t dst_y) const;
@@ -94,6 +101,8 @@ class Router {
     Cycle ready;
     Packet pkt;
   };
+
+  static constexpr std::size_t kSlots = kNumDirs * kNumMsgClasses;
 
   static std::size_t idx(Dir d) { return static_cast<std::size_t>(d); }
   void forward(Dir out, Packet&& p, Cycle now);
@@ -107,6 +116,9 @@ class Router {
   std::deque<Timed> local_out_;
   Sink sink_;
   std::uint32_t rr_ = 0;  ///< round-robin start index for input arbitration
+  /// Packets resident in this router (all input FIFOs + local_out_); lets
+  /// an idle tick skip the kSlots arbitration scan entirely.
+  std::uint32_t occupancy_ = 0;
 };
 
 }  // namespace glocks::noc

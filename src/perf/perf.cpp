@@ -1,0 +1,109 @@
+#include "perf/perf.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace glocks::perf {
+
+double SimPerf::msim_cycles_per_sec() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(sim_cycles) / wall_seconds / 1e6;
+}
+
+double SimPerf::skip_fraction() const {
+  // The serial loop would tick every slot on every cycle, including the
+  // cycles the event kernel jumped over.
+  const std::uint64_t per_cycle =
+      engine.cycles_stepped == 0
+          ? 0
+          : (engine.ticks_executed + engine.ticks_skipped) /
+                engine.cycles_stepped;
+  const std::uint64_t obligation =
+      per_cycle * (engine.cycles_stepped + engine.cycles_skipped);
+  if (obligation == 0) return 0.0;
+  return 1.0 - static_cast<double>(engine.ticks_executed) /
+                   static_cast<double>(obligation);
+}
+
+void SimPerf::add(const SimPerf& other) {
+  wall_seconds += other.wall_seconds;
+  sim_cycles += other.sim_cycles;
+  runs += other.runs;
+  engine.ticks_executed += other.engine.ticks_executed;
+  engine.ticks_skipped += other.engine.ticks_skipped;
+  engine.cycles_stepped += other.engine.cycles_stepped;
+  engine.cycles_skipped += other.engine.cycles_skipped;
+  engine.clock_jumps += other.engine.clock_jumps;
+  engine.wakes_scheduled += other.engine.wakes_scheduled;
+  for (const auto& s : other.slots) {
+    auto it = std::find_if(slots.begin(), slots.end(),
+                           [&](const sim::SlotPerf& m) {
+                             return m.name == s.name;
+                           });
+    if (it == slots.end()) {
+      slots.push_back(s);
+    } else {
+      it->ticks += s.ticks;
+      it->wakes += s.wakes;
+    }
+  }
+}
+
+std::string SimPerf::summary() const {
+  std::ostringstream oss;
+  oss.precision(3);
+  oss << std::fixed;
+  oss << "sim-throughput: " << msim_cycles_per_sec() << " Mcycles/s ("
+      << sim_cycles << " cycles in " << wall_seconds << " s";
+  if (runs > 1) oss << ", " << runs << " runs";
+  oss << ")\n";
+  oss << "engine: " << engine.ticks_executed << " ticks executed, "
+      << engine.ticks_skipped << " dormant slots skipped; "
+      << engine.cycles_stepped << " cycles stepped, "
+      << engine.cycles_skipped << " skipped via " << engine.clock_jumps
+      << " clock jumps; " << engine.wakes_scheduled << " wakes\n";
+  return oss.str();
+}
+
+void SimPerf::write_json(std::ostream& out, int indent) const {
+  const std::string pad(indent, ' ');
+  const std::string in1 = pad + "  ";
+  const std::string in2 = pad + "    ";
+  out.precision(6);
+  out << "{\n";
+  out << in1 << "\"wall_seconds\": " << wall_seconds << ",\n";
+  out << in1 << "\"sim_cycles\": " << sim_cycles << ",\n";
+  out << in1 << "\"msim_cycles_per_sec\": " << msim_cycles_per_sec()
+      << ",\n";
+  out << in1 << "\"runs\": " << runs << ",\n";
+  out << in1 << "\"engine\": {\n";
+  out << in2 << "\"ticks_executed\": " << engine.ticks_executed << ",\n";
+  out << in2 << "\"ticks_skipped\": " << engine.ticks_skipped << ",\n";
+  out << in2 << "\"cycles_stepped\": " << engine.cycles_stepped << ",\n";
+  out << in2 << "\"cycles_skipped\": " << engine.cycles_skipped << ",\n";
+  out << in2 << "\"clock_jumps\": " << engine.clock_jumps << ",\n";
+  out << in2 << "\"wakes_scheduled\": " << engine.wakes_scheduled << "\n";
+  out << in1 << "},\n";
+  out << in1 << "\"slots\": [";
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << in2 << "{\"name\": \"" << slots[i].name
+        << "\", \"ticks\": " << slots[i].ticks
+        << ", \"wakes\": " << slots[i].wakes << "}";
+  }
+  out << (slots.empty() ? "]\n" : "\n" + in1 + "]\n");
+  out << pad << "}";
+}
+
+SimPerf capture(const sim::Engine& engine, double wall_seconds) {
+  SimPerf p;
+  p.wall_seconds = wall_seconds;
+  p.sim_cycles = engine.now();
+  p.runs = 1;
+  p.engine = engine.perf();
+  p.slots = engine.slot_perf();
+  return p;
+}
+
+}  // namespace glocks::perf

@@ -1,0 +1,59 @@
+// Simulator self-measurement: wall-clock timing plus the kernel's
+// tick/skip/wake counters, rolled up into the `--perf` summary and the
+// throughput benchmark's JSON. Strictly an observer — nothing here feeds
+// back into simulation state, so enabling it cannot change results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace glocks::perf {
+
+/// Monotonic stopwatch (std::chrono::steady_clock), started on
+/// construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One run's (or an aggregate of runs') simulator-throughput measurement.
+struct SimPerf {
+  double wall_seconds = 0.0;
+  std::uint64_t sim_cycles = 0;  ///< final engine clock, summed over runs
+  std::uint64_t runs = 0;
+  sim::EnginePerf engine;
+  /// Per-component tick/wake counts, merged by slot name across runs.
+  std::vector<sim::SlotPerf> slots;
+
+  /// Simulated megacycles per wall-clock second (0 when unmeasured).
+  double msim_cycles_per_sec() const;
+  /// Fraction of component-cycle slots the kernel never had to tick.
+  double skip_fraction() const;
+
+  /// Folds another measurement in (counters sum; slots merge by name).
+  void add(const SimPerf& other);
+
+  /// Two-line human summary for `--perf`.
+  std::string summary() const;
+  /// JSON object (BENCH_sim_throughput.json payload).
+  void write_json(std::ostream& out, int indent = 0) const;
+};
+
+/// Snapshots an engine's counters after a run.
+SimPerf capture(const sim::Engine& engine, double wall_seconds);
+
+}  // namespace glocks::perf

@@ -1,33 +1,142 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.hpp"
 
 namespace glocks::sim {
 
-void Engine::step() {
-  for (Component* c : components_) {
-    c->tick(now_);
+void Component::wake_at(Cycle at) {
+  if (engine_ != nullptr) engine_->schedule(slot_, at);
+}
+
+void Component::wake() {
+  if (engine_ != nullptr) engine_->schedule(slot_, engine_->now_);
+}
+
+void Component::sleep() {
+  if (engine_ == nullptr || engine_->mode_ != EngineMode::kEventDriven) {
+    return;
   }
+  Engine::Slot& s = engine_->slots_[slot_];
+  if (s.active) {
+    s.active = false;
+    --engine_->num_active_;
+  }
+}
+
+void Component::sleep_until(Cycle at) {
+  sleep();
+  wake_at(at);
+}
+
+void Engine::add(Component& c, std::string_view name) {
+  GLOCKS_CHECK(c.engine_ == nullptr || c.engine_ == this,
+               "component registered with two engines");
+  c.engine_ = this;
+  c.slot_ = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(Slot{&c, /*active=*/true});
+  ++num_active_;
+  SlotPerf sp;
+  sp.name = name.empty() ? ("slot" + std::to_string(c.slot_))
+                         : std::string(name);
+  slot_perf_.push_back(std::move(sp));
+}
+
+void Engine::schedule(std::uint32_t slot, Cycle at) {
+  if (mode_ != EngineMode::kEventDriven) return;
+  GLOCKS_CHECK(at >= now_, "wake scheduled in the past: cycle "
+                               << at << " < now " << now_ << " ("
+                               << slot_perf_[slot].name << ")");
+  ++perf_.wakes_scheduled;
+  ++slot_perf_[slot].wakes;
+  if (at == now_) {
+    if (in_scan_ && slot <= scan_pos_) {
+      // This slot's tick for the current cycle already ran (or is the
+      // caller itself): the earliest it can observe the new state is next
+      // cycle — exactly when it would have seen it under the serial loop.
+      wakes_.push_back(Wake{now_ + 1, slot});
+      std::push_heap(wakes_.begin(), wakes_.end(), std::greater<>{});
+    } else if (!slots_[slot].active) {
+      slots_[slot].active = true;
+      ++num_active_;
+    }
+    return;
+  }
+  wakes_.push_back(Wake{at, slot});
+  std::push_heap(wakes_.begin(), wakes_.end(), std::greater<>{});
+}
+
+void Engine::activate_due() {
+  while (!wakes_.empty() && wakes_.front().at <= now_) {
+    const std::uint32_t slot = wakes_.front().slot;
+    std::pop_heap(wakes_.begin(), wakes_.end(), std::greater<>{});
+    wakes_.pop_back();
+    if (!slots_[slot].active) {
+      slots_[slot].active = true;
+      ++num_active_;
+    }
+  }
+}
+
+void Engine::step() {
+  const bool event = mode_ == EngineMode::kEventDriven;
+  if (event) activate_due();
+  std::uint64_t executed = 0;
+  in_scan_ = true;
+  for (scan_pos_ = 0; scan_pos_ < slots_.size(); ++scan_pos_) {
+    if (event && !slots_[scan_pos_].active) continue;
+    slots_[scan_pos_].c->tick(now_);
+    ++slot_perf_[scan_pos_].ticks;
+    ++executed;
+  }
+  in_scan_ = false;
+  perf_.ticks_executed += executed;
+  perf_.ticks_skipped += slots_.size() - executed;
+  ++perf_.cycles_stepped;
   ++now_;
 }
 
-Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles,
+                        const char* phase) {
   while (!done()) {
     if (now_ >= max_cycles) [[unlikely]] {
-      std::ostringstream oss;
-      oss << "simulation exceeded " << max_cycles
-          << " cycles — deadlock or runaway workload";
-      if (hang_reporter_) {
-        oss << "\n--- hang diagnostic (cycle " << now_ << ") ---\n"
-            << hang_reporter_();
+      throw_hang(max_cycles, phase);
+    }
+    if (mode_ == EngineMode::kEventDriven && num_active_ == 0) {
+      // Everyone is dormant: jump straight to the earliest wake (never
+      // past it), clamped to the cycle limit so an empty wake queue still
+      // lands on the ordinary hang path above.
+      const Cycle target = wakes_.empty()
+                               ? max_cycles
+                               : std::min(wakes_.front().at, max_cycles);
+      if (target > now_) {
+        ++perf_.clock_jumps;
+        perf_.cycles_skipped += target - now_;
+        now_ = target;
+        continue;  // a pure clock move changes no state; re-check limits
       }
-      throw SimError(oss.str());
     }
     step();
   }
   return now_;
+}
+
+void Engine::throw_hang(Cycle max_cycles, const char* phase) const {
+  std::ostringstream oss;
+  if (phase == nullptr) {
+    oss << "simulation exceeded " << max_cycles
+        << " cycles — deadlock or runaway workload";
+  } else {
+    oss << phase << " exceeded its budget of " << max_cycles
+        << " cycles — in-flight state failed to quiesce";
+  }
+  if (hang_reporter_) {
+    oss << "\n--- hang diagnostic (cycle " << now_ << ") ---\n"
+        << hang_reporter_();
+  }
+  throw SimError(oss.str());
 }
 
 }  // namespace glocks::sim

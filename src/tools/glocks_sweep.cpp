@@ -19,6 +19,9 @@
 //                         mixes its workload seed into the plan seed, so
 //                         the whole table is still deterministic and
 //                         byte-identical across --jobs values.
+//   --perf                print an aggregate simulator-throughput summary
+//                         (all runs folded) to stderr; the CSV on stdout
+//                         is unchanged.
 //
 // Output: the report CSV header plus one row per
 // (workload, lock, cores, seed), with `cores` and `seed` columns
@@ -57,7 +60,7 @@ std::vector<std::string> split(const std::string& csv) {
 
 int main(int argc, char** argv) {
   try {
-    const tools::Args args(argc, argv, {"all"});
+    const tools::Args args(argc, argv, {"all", "perf"});
 
     exec::SweepSpec spec;
     if (args.has("all")) {
@@ -107,7 +110,13 @@ int main(int argc, char** argv) {
       spec.fault = fault::parse_fault_spec(args.get("faults"));
     }
 
-    exec::run_sweep(spec, std::cout);
+    if (args.has("perf")) {
+      perf::SimPerf agg;
+      exec::run_sweep(spec, std::cout, &agg);
+      std::cerr << agg.summary();
+    } else {
+      exec::run_sweep(spec, std::cout);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "glocks-sweep: %s\n", e.what());

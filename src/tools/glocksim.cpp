@@ -28,6 +28,9 @@
 //                        fault/fault.hpp. Adds a fault/recovery section
 //                        to the report (and CSV/JSON output).
 //   --fault-seed N       fault-injector seed (overrides seed= in SPEC)
+//   --perf               print a simulator-throughput summary (wall time,
+//                        Mcycles/s, kernel tick/skip counters) to stderr;
+//                        stdout output is unchanged
 //   --list               list available workloads and lock kinds
 #include <cstdio>
 #include <fstream>
@@ -66,7 +69,7 @@ int list_everything() {
 int main(int argc, char** argv) {
   try {
     const tools::Args args(argc, argv,
-                           {"auto-assign", "csv", "json", "list"});
+                           {"auto-assign", "csv", "json", "list", "perf"});
     if (args.has("list") || argc == 1) return list_everything();
 
     const std::string name = args.get("workload");
@@ -158,6 +161,7 @@ int main(int argc, char** argv) {
     } else {
       std::cout << harness::summary_text(result);
     }
+    if (args.has("perf")) std::cerr << result.perf.summary();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "glocksim: %s\n", e.what());

@@ -155,14 +155,18 @@ TEST_F(CoreFixture, FinishCycleRecorded) {
 
 TEST_F(CoreFixture, GlineRegisterOpsBlockUntilCleared) {
   bind([](ThreadApi& t) { return acquire_glock(t, 0); });
-  // No G-line hardware attached: the register stays set; the thread spins.
+  // No G-line hardware attached: the register stays set; the thread
+  // spins. Under the event kernel the spinner sits dormant (its spin
+  // cycles are replayed at wake-up), so only completion is checked here.
   mem_.engine().run_until([&] { return mem_.engine().now() >= 50; },
                           100000);
   EXPECT_FALSE(core_.finished());
-  EXPECT_GT(core_.context().gline_spin_cycles, 10u);
-  // Clear it by hand (playing the local controller's role).
+  // Clear it by hand, playing the local controller's role — which under
+  // the dormancy contract includes waking the spinner.
   core_.lock_registers().req[0] = false;
-  mem_.engine().run_until([&] { return core_.finished(); }, 100000);
+  core_.wake();
+  mem_.engine().run_until([&] { return core_.finished(); }, 200000);
+  EXPECT_GT(core_.context().gline_spin_cycles, 10u);
 }
 
 TEST_F(CoreFixture, GlineIdOutOfRangeThrows) {
