@@ -35,7 +35,7 @@ void BM_MeshPingTraffic(benchmark::State& state) {
   mesh.set_sink(35, [&](noc::Packet&&) { ++delivered; });
   Cycle now = 0;
   for (auto _ : state) {
-    mesh.send(0, 35, noc::MsgClass::kRequest, 8, nullptr);
+    mesh.send(0, 35, noc::MsgClass::kRequest, 8, now);
     // Drain: corner-to-corner is 10 hops of 4 cycles plus ejection.
     for (int i = 0; i < 48; ++i) mesh.tick(now++);
   }

@@ -78,8 +78,9 @@ int main(int argc, char** argv) {
 
   perf::SimPerf serial_agg, event_agg;
   bool identical = true;
-  std::printf("%-7s %-5s %10s %10s %8s  %s\n", "bench", "lock",
-              "serial_s", "event_s", "speedup", "agree");
+  std::printf("%-7s %-5s %10s %10s %8s %6s %8s %9s  %s\n", "bench", "lock",
+              "serial_s", "event_s", "speedup", "xhit%", "poolhw",
+              "reuse%", "agree");
   for (const auto& entry : reg) {
     for (const auto hc : kinds) {
       const auto s =
@@ -90,14 +91,23 @@ int main(int argc, char** argv) {
       event_agg.add(e.perf);
       const bool agree = same_results(s, e);
       identical = identical && agree;
-      std::printf("%-7s %-5s %10.3f %10.3f %7.2fx  %s\n",
+      const auto& m = e.perf.msg;
+      const double reuse_pct =
+          m.pool_acquires > 0
+              ? 100.0 * static_cast<double>(m.pool_reuses) /
+                    static_cast<double>(m.pool_acquires)
+              : 0.0;
+      std::printf("%-7s %-5s %10.3f %10.3f %7.2fx %5.1f%% %8llu %8.1f%%  "
+                  "%s\n",
                   entry.name.c_str(),
                   hc == locks::LockKind::kMcs ? "MCS" : "GL",
                   s.perf.wall_seconds, e.perf.wall_seconds,
                   s.perf.wall_seconds /
                       (e.perf.wall_seconds > 0 ? e.perf.wall_seconds
                                                : 1e-9),
-                  agree ? "yes" : "NO — RESULTS DIVERGED");
+                  100.0 * m.express_hit_rate(),
+                  static_cast<unsigned long long>(m.pool_high_water),
+                  reuse_pct, agree ? "yes" : "NO — RESULTS DIVERGED");
     }
   }
 
@@ -123,6 +133,11 @@ int main(int argc, char** argv) {
   json << "  \"grid_points\": " << reg.size() * 2 << ",\n";
   json << "  \"identical\": " << (identical ? "true" : "false") << ",\n";
   json << "  \"speedup\": " << speedup << ",\n";
+  // Top-level copy of the event kernel's express hit rate: placed before
+  // the nested SimPerf payloads so scripts/bench_throughput.sh's
+  // first-match json_field extraction reads this one.
+  json << "  \"express_hit_rate\": " << event_agg.msg.express_hit_rate()
+       << ",\n";
   json << "  \"serial\": ";
   serial_agg.write_json(json, 2);
   json << ",\n  \"event\": ";

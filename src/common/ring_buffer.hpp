@@ -1,0 +1,101 @@
+// Power-of-two ring buffer replacing the router's std::deque queues.
+//
+// A deque pays a heap allocation every time push/pop crosses a block
+// boundary — per-message churn on the NoC hot path.  This ring keeps
+// one contiguous power-of-two array and grows it only when occupancy
+// exceeds capacity, so every queue reaches a high-water size once and
+// then cycles allocation-free forever.  Router input queues are
+// logically bounded by `input_queue_depth` (the Router still enforces
+// that bound; the ring merely stores), NIC outboxes and the ejection
+// queue are unbounded by contract and simply double on demand.
+//
+// Only the operations the NoC needs: FIFO push_back/pop_front plus
+// front() peeking.  Elements must be movable; destruction of live
+// elements happens in clear()/~RingBuffer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace glocks::common {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  RingBuffer(RingBuffer&& other) noexcept { *this = std::move(other); }
+  RingBuffer& operator=(RingBuffer&& other) noexcept {
+    slots_ = std::move(other.slots_);
+    cap_ = other.cap_;
+    head_ = other.head_;
+    size_ = other.size_;
+    other.cap_ = other.head_ = other.size_ = 0;
+    return *this;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  T& front() {
+    GLOCKS_CHECK(size_ > 0, "ring front() on empty buffer");
+    return slots_[head_];
+  }
+  const T& front() const {
+    GLOCKS_CHECK(size_ > 0, "ring front() on empty buffer");
+    return slots_[head_];
+  }
+
+  /// FIFO access: index 0 is the front (oldest) element.
+  T& operator[](std::size_t i) {
+    GLOCKS_CHECK(i < size_, "ring index out of range");
+    return slots_[(head_ + i) & (cap_ - 1)];
+  }
+  const T& operator[](std::size_t i) const {
+    GLOCKS_CHECK(i < size_, "ring index out of range");
+    return slots_[(head_ + i) & (cap_ - 1)];
+  }
+
+  void push_back(T&& value) {
+    if (size_ == cap_) grow();
+    slots_[(head_ + size_) & (cap_ - 1)] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    GLOCKS_CHECK(size_ > 0, "ring pop_front() on empty buffer");
+    slots_[head_] = T{};  // drop any owned state now, not at overwrite
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? kInitialCapacity : cap_ * 2;
+    auto bigger = std::make_unique<T[]>(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) & (cap_ - 1)]);
+    }
+    slots_ = std::move(bigger);
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  std::unique_ptr<T[]> slots_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace glocks::common

@@ -186,7 +186,7 @@ struct SbOp {
                  "SB lock used but no station is wired");
     ctx.resume_point = h;
     ctx.uops += 1;
-    auto msg = std::make_unique<mem::CohMsg>();
+    mem::CohMsgPtr msg = ctx.l1->make_msg();
     msg->line = lock_id;
     msg->requester = ctx.core;
     if (is_release) {
@@ -225,7 +225,7 @@ struct QolbOp {
       st.holding = false;
       st.successor = kNoCore;
       st.lock_id = lock_id;
-      auto msg = std::make_unique<mem::CohMsg>();
+      mem::CohMsgPtr msg = ctx.l1->make_msg();
       msg->type = mem::CohType::kQolbEnq;
       msg->line = lock_id;
       msg->requester = ctx.core;
@@ -237,7 +237,7 @@ struct QolbOp {
                  "QOLB release without holding lock " << lock_id);
     if (st.successor != kNoCore) {
       // Direct cache-to-cache handoff: one traversal, no home round trip.
-      auto grant = std::make_unique<mem::CohMsg>();
+      mem::CohMsgPtr grant = ctx.l1->make_msg();
       grant->type = mem::CohType::kQolbGrant;
       grant->line = lock_id;
       grant->requester = st.successor;
@@ -250,7 +250,7 @@ struct QolbOp {
     }
     st.pending_home_release = true;
     st.release_done = false;
-    auto msg = std::make_unique<mem::CohMsg>();
+    mem::CohMsgPtr msg = ctx.l1->make_msg();
     msg->type = mem::CohType::kQolbRelHome;
     msg->line = lock_id;
     msg->requester = ctx.core;

@@ -46,6 +46,18 @@ RunResult run_workload(Workload& workload, const RunConfig& cfg) {
   r.hc_lock_kind = std::string(locks::to_string(cfg.policy.highly_contended));
   r.cycles = sys.run();
   r.perf = perf::capture(sys.engine(), timer.seconds());
+  {
+    const auto& ps = sys.hierarchy().msg_pool_stats();
+    const auto& xp = sys.mesh().express_perf();
+    r.perf.msg.pool_heap_allocs = ps.heap_allocs;
+    r.perf.msg.pool_heap_bytes = ps.heap_bytes;
+    r.perf.msg.pool_acquires = ps.acquires;
+    r.perf.msg.pool_reuses = ps.reuses;
+    r.perf.msg.pool_high_water = ps.high_water;
+    r.perf.msg.express_hits = xp.hits;
+    r.perf.msg.express_declined = xp.declined;
+    r.perf.msg.express_materialized = xp.materialized;
+  }
   workload.verify(ctx);
 
   for (CoreId c = 0; c < sys.num_cores(); ++c) {

@@ -100,7 +100,7 @@ std::pair<Cycle, LineData> DirSlice::read_line_data(Addr line, Cycle now) {
 
 void DirSlice::send(CoreId dst, CohType type, Addr line, CoreId requester,
                     bool exclusive, const LineData* data) {
-  auto msg = std::make_unique<CohMsg>();
+  CohMsgPtr msg = transport_.make_msg();
   msg->type = type;
   msg->line = line;
   msg->sender = tile_;
@@ -110,7 +110,7 @@ void DirSlice::send(CoreId dst, CohType type, Addr line, CoreId requester,
   transport_.send(tile_, dst, std::move(msg));
 }
 
-void DirSlice::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
+void DirSlice::deliver(CohMsgPtr msg, Cycle ready) {
   // Every message pays the bank's tag/lookup latency. A single constant
   // keeps inbox ready-times monotonic, so strict FIFO processing preserves
   // the per-(src,dst) ordering the protocol relies on.
@@ -118,7 +118,7 @@ void DirSlice::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
   wake_at(inbox_.back().ready);
 }
 
-void DirSlice::start_request(std::unique_ptr<CohMsg> msg, Cycle now) {
+void DirSlice::start_request(CohMsgPtr msg, Cycle now) {
   const Addr line = msg->line;
   const CoreId req = msg->sender;
   DirEntry& e = entry(line);
@@ -269,7 +269,7 @@ void DirSlice::complete_txn(Addr line, Cycle now) {
   }
 }
 
-void DirSlice::handle_msg(std::unique_ptr<CohMsg> msg, Cycle now) {
+void DirSlice::handle_msg(CohMsgPtr msg, Cycle now) {
   const Addr line = msg->line;
   switch (msg->type) {
     case CohType::kGetS:

@@ -51,7 +51,7 @@ class DirSlice final : public sim::Component {
            Cycle memory_latency, Transport& transport, BackingStore& memory,
            const sim::Engine& engine);
 
-  void deliver(std::unique_ptr<CohMsg> msg, Cycle ready);
+  void deliver(CohMsgPtr msg, Cycle ready);
   void tick(Cycle now) override;
 
   const DirStats& stats() const { return stats_; }
@@ -109,7 +109,7 @@ class DirSlice final : public sim::Component {
 
   struct Inbox {
     Cycle ready;
-    std::unique_ptr<CohMsg> msg;
+    CohMsgPtr msg;
   };
 
   DirEntry& entry(Addr line);
@@ -119,8 +119,8 @@ class DirSlice final : public sim::Component {
   /// copy; installs into L2 on a memory fetch.
   std::pair<Cycle, LineData> read_line_data(Addr line, Cycle now);
 
-  void handle_msg(std::unique_ptr<CohMsg> msg, Cycle now);
-  void start_request(std::unique_ptr<CohMsg> msg, Cycle now);
+  void handle_msg(CohMsgPtr msg, Cycle now);
+  void start_request(CohMsgPtr msg, Cycle now);
   void finish_read_phase(Addr line, Txn& txn, Cycle now);
   void after_inv_acks(Addr line, Txn& txn, Cycle now);
   void complete_txn(Addr line, Cycle now);
@@ -138,7 +138,7 @@ class DirSlice final : public sim::Component {
   std::vector<std::vector<L2Entry>> l2_sets_;
   std::unordered_map<Addr, DirEntry> dir_;
   std::unordered_map<Addr, Txn> txns_;
-  std::unordered_map<Addr, std::deque<std::unique_ptr<CohMsg>>> deferred_;
+  std::unordered_map<Addr, std::deque<CohMsgPtr>> deferred_;
   std::deque<Inbox> inbox_;
   /// Data reads in flight: line -> data to hand to the txn at wake time.
   std::unordered_map<Addr, LineData> read_buf_;

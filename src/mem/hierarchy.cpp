@@ -30,11 +30,13 @@ Hierarchy::Hierarchy(const CmpConfig& cfg, noc::Mesh& mesh,
   qolb_stations_.assign(cfg.num_cores, nullptr);
   for (CoreId t = 0; t < cfg.num_cores; ++t) {
     mesh_.set_sink(t, [this, t](noc::Packet&& p) {
-      auto* raw = dynamic_cast<CohMsg*>(p.payload.get());
-      GLOCKS_CHECK(raw != nullptr, "mesh delivered a non-coherence payload "
-                                   "to the memory system");
-      p.payload.release();
-      deliver_local(t, std::unique_ptr<CohMsg>(raw), engine_.now());
+      GLOCKS_CHECK(p.kind == noc::PayloadKind::kCohMsg && p.payload != nullptr,
+                   "mesh delivered a non-coherence payload to the memory "
+                   "system");
+      // Ownership travelled through the fabric as a tagged raw pointer;
+      // re-wrap it into the pool it came from.
+      deliver_local(t, msg_pool_.adopt(static_cast<CohMsg*>(p.payload)),
+                    engine_.now());
     });
   }
   // Registration order fixes intra-cycle processing order: directories
@@ -70,8 +72,7 @@ bool Hierarchy::is_l1_bound(CohType t) {
   }
 }
 
-void Hierarchy::deliver_local(CoreId tile, std::unique_ptr<CohMsg> msg,
-                              Cycle ready) {
+void Hierarchy::deliver_local(CoreId tile, CohMsgPtr msg, Cycle ready) {
   switch (msg->type) {
     case CohType::kSbAcquire:
     case CohType::kSbRelease:
@@ -111,7 +112,7 @@ void Hierarchy::deliver_local(CoreId tile, std::unique_ptr<CohMsg> msg,
   }
 }
 
-void Hierarchy::send(CoreId src, CoreId dst, std::unique_ptr<CohMsg> msg) {
+void Hierarchy::send(CoreId src, CoreId dst, CohMsgPtr msg) {
   if (src == dst) {
     // Same-tile L1 <-> L2 slice: no network traversal, 1-cycle bus hop.
     deliver_local(dst, std::move(msg), engine_.now() + 1);
@@ -120,7 +121,10 @@ void Hierarchy::send(CoreId src, CoreId dst, std::unique_ptr<CohMsg> msg) {
   const CohType type = msg->type;
   const std::uint32_t size = carries_data(type) ? noc_cfg_.data_msg_bytes
                                                 : noc_cfg_.control_msg_bytes;
-  mesh_.send(src, dst, msg_class(type), size, std::move(msg));
+  // The packet carries the pooled node as a tagged raw pointer; the sink
+  // above adopts it back into msg_pool_ on delivery.
+  mesh_.send(src, dst, msg_class(type), size, engine_.now(), msg.release(),
+             noc::PayloadKind::kCohMsg);
 }
 
 Word Hierarchy::coherent_peek(Addr addr) const {

@@ -47,7 +47,20 @@ class Hierarchy final : public Transport {
   }
 
   /// Transport: mesh for remote tiles, 1-cycle bypass within a tile.
-  void send(CoreId src, CoreId dst, std::unique_ptr<CohMsg> msg) override;
+  void send(CoreId src, CoreId dst, CohMsgPtr msg) override;
+  /// Transport: fresh/copied message nodes from the shared slab pool.
+  CohMsgPtr make_msg() override { return msg_pool_.acquire(); }
+  CohMsgPtr make_msg(const CohMsg& init) override {
+    return msg_pool_.acquire(init);
+  }
+
+  /// Pool counters for the --perf layer (allocations, reuses,
+  /// high-water mark of simultaneously-live messages).
+  const CohMsgPool::Stats& msg_pool_stats() const {
+    return msg_pool_.stats();
+  }
+  /// Test hook: the allocation-regression gate watches real heap trips.
+  CohMsgPool& msg_pool() { return msg_pool_; }
 
   /// True when no coherence activity is pending anywhere.
   bool quiescent() const;
@@ -70,7 +83,7 @@ class Hierarchy final : public Transport {
   DirStats total_dir_stats() const;
 
  private:
-  void deliver_local(CoreId tile, std::unique_ptr<CohMsg> msg, Cycle ready);
+  void deliver_local(CoreId tile, CohMsgPtr msg, Cycle ready);
   /// True when `t` is handled by the L1 (CPU side) rather than the home.
   static bool is_l1_bound(CohType t);
 
@@ -79,6 +92,9 @@ class Hierarchy final : public Transport {
   AddressMap amap_;
   BackingStore memory_;
   noc::Mesh& mesh_;
+  /// Every coherence message in the machine lives in one of these nodes;
+  /// steady state cycles through the free list with zero heap traffic.
+  CohMsgPool msg_pool_;
   std::vector<std::unique_ptr<L1Cache>> l1s_;
   std::vector<std::unique_ptr<DirSlice>> dirs_;
   std::vector<std::unique_ptr<SyncBuffer>> sbs_;

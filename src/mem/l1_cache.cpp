@@ -61,14 +61,14 @@ void L1Cache::issue(const MemOp& op, Callback done) {
   wake_at(pending_->lookup_ready);
 }
 
-void L1Cache::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
+void L1Cache::deliver(CohMsgPtr msg, Cycle ready) {
   inbox_.push_back(Inbox{ready, std::move(msg)});
   wake_at(ready);
 }
 
 void L1Cache::send_to_home(Addr line, CohType type, const LineData* data,
                            CoreId requester) {
-  auto msg = std::make_unique<CohMsg>();
+  CohMsgPtr msg = transport_.make_msg();
   msg->type = type;
   msg->line = line;
   msg->sender = core_;
@@ -163,7 +163,7 @@ void L1Cache::handle_msg(CohMsg& msg, Cycle now) {
       // Races that overtook this grant on another virtual channel:
       // resolve them after the fill (complete_with_line resets pending_).
       const bool drop_after_fill = pending_->fill_invalidate;
-      std::unique_ptr<CohMsg> fwd = std::move(pending_->pending_fwd);
+      CohMsgPtr fwd = std::move(pending_->pending_fwd);
       GLOCKS_CHECK(!drop_after_fill || !msg.exclusive,
                    "invalidate-on-fill applies only to shared grants");
       GLOCKS_CHECK(fwd == nullptr || msg.exclusive,
@@ -243,14 +243,14 @@ void L1Cache::handle_msg(CohMsg& msg, Cycle now) {
         // is granted Exclusive, making us the owner the home forwards to.
         GLOCKS_CHECK(pending_->pending_fwd == nullptr,
                      "two forwards outstanding for one line");
-        pending_->pending_fwd = std::make_unique<CohMsg>(msg);
+        pending_->pending_fwd = transport_.make_msg(msg);
         break;
       }
       GLOCKS_CHECK(data != nullptr,
                    "forward for line " << line << " found neither a cached "
                                        << "copy nor a writeback entry");
       // Cache-to-cache transfer straight to the requester...
-      auto c2c = std::make_unique<CohMsg>();
+      CohMsgPtr c2c = transport_.make_msg();
       c2c->type = CohType::kC2CData;
       c2c->line = line;
       c2c->sender = core_;

@@ -26,11 +26,17 @@
 
 namespace glocks::mem {
 
-/// Sends coherence messages between tiles (mesh or same-tile bypass).
+/// Sends coherence messages between tiles (mesh or same-tile bypass),
+/// and owns the pool those messages are allocated from.
 class Transport {
  public:
   virtual ~Transport() = default;
-  virtual void send(CoreId src, CoreId dst, std::unique_ptr<CohMsg> msg) = 0;
+  virtual void send(CoreId src, CoreId dst, CohMsgPtr msg) = 0;
+  /// A fresh value-initialised message node from the transport's pool.
+  virtual CohMsgPtr make_msg() = 0;
+  /// A pooled copy of `init` (the L1 snapshots forwards that race with
+  /// an in-flight fill).
+  virtual CohMsgPtr make_msg(const CohMsg& init) = 0;
 };
 
 /// Kinds of atomic read-modify-write the core can issue.
@@ -82,11 +88,15 @@ class L1Cache final : public sim::Component {
   }
 
   /// Incoming coherence message (from the transport).
-  void deliver(std::unique_ptr<CohMsg> msg, Cycle ready);
+  void deliver(CohMsgPtr msg, Cycle ready);
+
+  /// Builds a message on the transport's pool; used by the lock awaiters,
+  /// which have no transport handle of their own.
+  CohMsgPtr make_msg() { return transport_.make_msg(); }
 
   /// Sends a synchronization message (SB lock traffic) from this core's
   /// tile; used by the SB lock awaiters, which have no transport handle.
-  void send_sync(CoreId dst, std::unique_ptr<CohMsg> msg) {
+  void send_sync(CoreId dst, CohMsgPtr msg) {
     msg->sender = core_;
     transport_.send(core_, dst, std::move(msg));
   }
@@ -125,7 +135,7 @@ class L1Cache final : public sim::Component {
     bool fill_invalidate = false;
     /// A forward overtook our exclusive-data grant: serve it right after
     /// the fill completes. At most one (the home blocks per line).
-    std::unique_ptr<CohMsg> pending_fwd;
+    CohMsgPtr pending_fwd;
   };
 
   struct WbEntry {
@@ -135,7 +145,7 @@ class L1Cache final : public sim::Component {
 
   struct Inbox {
     Cycle ready;
-    std::unique_ptr<CohMsg> msg;
+    CohMsgPtr msg;
   };
 
   Entry* find(Addr line);

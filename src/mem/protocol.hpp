@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/pool.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
 
@@ -115,7 +116,10 @@ constexpr noc::MsgClass msg_class(CohType t) {
 }
 
 /// The payload carried through the mesh for every coherence message.
-struct CohMsg final : noc::PacketData {
+/// Plain trivially-destructible data (no virtual base): nodes live in a
+/// common::Pool and travel through Packets as a tagged raw pointer
+/// (noc::PayloadKind::kCohMsg).
+struct CohMsg final {
   CohType type = CohType::kGetS;
   Addr line = 0;          ///< line number (byte address >> 6)
   CoreId sender = 0;      ///< tile that created this message
@@ -123,5 +127,11 @@ struct CohMsg final : noc::PacketData {
   bool exclusive = false; ///< Data grant flavour: true = E/M, false = S
   LineData data{};        ///< valid iff carries_data(type)
 };
+
+/// Owning handle for pooled coherence messages. Everything that used to
+/// pass `std::unique_ptr<CohMsg>` now passes this; the deleter returns
+/// the node to the pool it came from instead of the heap.
+using CohMsgPool = common::Pool<CohMsg>;
+using CohMsgPtr = common::PoolPtr<CohMsg>;
 
 }  // namespace glocks::mem

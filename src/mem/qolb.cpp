@@ -9,14 +9,14 @@ QolbHome::QolbHome(CoreId tile, Transport& transport,
                    Cycle processing_latency)
     : tile_(tile), transport_(transport), latency_(processing_latency) {}
 
-void QolbHome::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
+void QolbHome::deliver(CohMsgPtr msg, Cycle ready) {
   inbox_.push_back(Inbox{ready + latency_, std::move(msg)});
   wake_at(inbox_.back().ready);
 }
 
 void QolbHome::send(CoreId dst, CohType type, std::uint32_t lock_id,
                     CoreId requester) {
-  auto msg = std::make_unique<CohMsg>();
+  CohMsgPtr msg = transport_.make_msg();
   msg->type = type;
   msg->line = lock_id;
   msg->sender = tile_;
@@ -106,7 +106,7 @@ void qolb_station_on_message(QolbStation& st, const CohMsg& msg,
       GLOCKS_CHECK(st.pending_home_release && st.successor != kNoCore,
                    "QOLB RelRetry without a known successor at core "
                        << self);
-      auto grant = std::make_unique<CohMsg>();
+      CohMsgPtr grant = transport.make_msg();
       grant->type = CohType::kQolbGrant;
       grant->line = lock_id;
       grant->sender = self;

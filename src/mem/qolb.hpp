@@ -69,7 +69,7 @@ class QolbHome final : public sim::Component {
  public:
   QolbHome(CoreId tile, Transport& transport, Cycle processing_latency);
 
-  void deliver(std::unique_ptr<CohMsg> msg, Cycle ready);
+  void deliver(CohMsgPtr msg, Cycle ready);
   void tick(Cycle now) override;
 
   const QolbStats& stats() const { return stats_; }
@@ -82,7 +82,7 @@ class QolbHome final : public sim::Component {
   };
   struct Inbox {
     Cycle ready;
-    std::unique_ptr<CohMsg> msg;
+    CohMsgPtr msg;
   };
 
   void send(CoreId dst, CohType type, std::uint32_t lock_id,

@@ -11,14 +11,14 @@ SyncBuffer::SyncBuffer(CoreId tile, Transport& transport,
                        Cycle processing_latency)
     : tile_(tile), transport_(transport), latency_(processing_latency) {}
 
-void SyncBuffer::deliver(std::unique_ptr<CohMsg> msg, Cycle ready) {
+void SyncBuffer::deliver(CohMsgPtr msg, Cycle ready) {
   inbox_.push_back(Inbox{ready + latency_, std::move(msg)});
   wake_at(inbox_.back().ready);
 }
 
 void SyncBuffer::grant(std::uint32_t lock_id, CoreId to) {
   ++stats_.grants;
-  auto msg = std::make_unique<CohMsg>();
+  CohMsgPtr msg = transport_.make_msg();
   msg->type = CohType::kSbGrant;
   msg->line = lock_id;  // SB messages carry the lock id in `line`
   msg->sender = tile_;

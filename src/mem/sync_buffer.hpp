@@ -50,7 +50,7 @@ class SyncBuffer final : public sim::Component {
   /// `processing_latency` models the buffer's lookup/queue pipeline.
   SyncBuffer(CoreId tile, Transport& transport, Cycle processing_latency);
 
-  void deliver(std::unique_ptr<CohMsg> msg, Cycle ready);
+  void deliver(CohMsgPtr msg, Cycle ready);
   void tick(Cycle now) override;
 
   const SbStats& stats() const { return stats_; }
@@ -64,7 +64,7 @@ class SyncBuffer final : public sim::Component {
   };
   struct Inbox {
     Cycle ready;
-    std::unique_ptr<CohMsg> msg;
+    CohMsgPtr msg;
   };
 
   void grant(std::uint32_t lock_id, CoreId to);

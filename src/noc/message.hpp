@@ -9,7 +9,6 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <string_view>
 
 #include "common/types.hpp"
@@ -31,21 +30,35 @@ constexpr std::string_view to_string(MsgClass c) {
   return "?";
 }
 
-/// Base for protocol payloads carried through the mesh. The memory system
-/// derives its coherence message from this; the NoC treats it opaquely.
-struct PacketData {
-  virtual ~PacketData() = default;
+/// Discriminates the opaque payload pointer a Packet carries. The NoC
+/// never dereferences payloads; the tag lets the endpoint that installed
+/// the pointer recover its type without virtual dispatch (payload nodes
+/// live in typed pools and must stay trivially destructible, so the old
+/// `struct PacketData { virtual ~PacketData(); }` base is gone).
+enum class PayloadKind : std::uint8_t {
+  kNone = 0,    ///< payload is null (raw NoC traffic, tests)
+  kCohMsg = 1,  ///< mem::CohMsg owned by the hierarchy's message pool
 };
 
 /// One network message. With 75-byte links (Table II) every message fits a
 /// single flit, so a Packet is also the unit of link bandwidth.
+///
+/// Trivially copyable by design: packets move through pooled ring
+/// buffers by value. Ownership of `payload` rides along informally —
+/// exactly one copy of a given seq is ever live in the fabric, and the
+/// sink that receives it re-wraps the pointer into its owning pool.
+/// `seq` is assigned fresh by Mesh::send for every injection (never
+/// recycled from a pooled payload node), so traces stay unambiguous
+/// even when the same payload storage is reused; debug builds check the
+/// counter cannot wrap within a run.
 struct Packet {
   CoreId src = 0;
   CoreId dst = 0;
   MsgClass cls = MsgClass::kRequest;
+  PayloadKind kind = PayloadKind::kNone;
   std::uint32_t size_bytes = 0;
   std::uint64_t seq = 0;  ///< Unique per-mesh id, for debugging/tracing.
-  std::unique_ptr<PacketData> payload;
+  void* payload = nullptr;
 };
 
 /// Byte/packet/hop counts per message class. The paper's Figure 9 metric

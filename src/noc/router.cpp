@@ -31,6 +31,20 @@ void Router::accept(Dir in, Packet&& p, Cycle ready) {
   ++occupancy_;
 }
 
+void Router::place(Dir in, MsgClass cls, Packet&& p, Cycle ready) {
+  auto& q = in_[idx(in)][static_cast<std::size_t>(cls)];
+  GLOCKS_CHECK(q.size() < timing_.input_queue_depth,
+               "router (" << x_ << "," << y_ << ") port " << idx(in)
+                          << " overflow on express materialization");
+  q.push_back(Timed{ready, std::move(p)});
+  ++occupancy_;
+}
+
+void Router::place_local(Packet&& p, Cycle ready) {
+  local_out_.push_back(Timed{ready, std::move(p)});
+  ++occupancy_;
+}
+
 Dir Router::route(std::uint32_t dst_x, std::uint32_t dst_y) const {
   // XY dimension-order: resolve X first, then Y. Deadlock-free on a mesh.
   if (dst_x > x_) return Dir::kEast;

@@ -14,10 +14,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <optional>
 
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
 
@@ -96,9 +95,18 @@ class Router {
   /// Decides the output direction for a packet destined to tile coords.
   Dir route(std::uint32_t dst_x, std::uint32_t dst_y) const;
 
+  /// Express materialization (Mesh only): places a packet directly into
+  /// an input FIFO with an explicit ready cycle — exactly the entry the
+  /// hop-by-hop path would hold at this point. Records no statistics;
+  /// the Mesh credits the hops already "performed" itself. Capacity is
+  /// checked: the express reservation ledger guarantees room.
+  void place(Dir in, MsgClass cls, Packet&& p, Cycle ready);
+  /// Same, for the local ejection queue (a flight past its last switch).
+  void place_local(Packet&& p, Cycle ready);
+
  private:
   struct Timed {
-    Cycle ready;
+    Cycle ready = 0;
     Packet pkt;
   };
 
@@ -110,10 +118,13 @@ class Router {
   std::uint32_t x_, y_, mesh_w_;
   RouterTiming timing_;
   TrafficStats& stats_;
-  /// Input FIFOs: [port][virtual channel (message class)].
-  std::array<std::array<std::deque<Timed>, kNumMsgClasses>, kNumDirs> in_;
+  /// Input FIFOs: [port][virtual channel (message class)]. Ring buffers
+  /// grow to input_queue_depth once and then cycle allocation-free; the
+  /// logical depth bound is enforced here, not by the ring.
+  std::array<std::array<common::RingBuffer<Timed>, kNumMsgClasses>, kNumDirs>
+      in_;
   std::array<Router*, kNumDirs> neighbors_{};
-  std::deque<Timed> local_out_;
+  common::RingBuffer<Timed> local_out_;
   Sink sink_;
   std::uint32_t rr_ = 0;  ///< round-robin start index for input arbitration
   /// Packets resident in this router (all input FIFOs + local_out_); lets

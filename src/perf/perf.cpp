@@ -26,6 +26,13 @@ double SimPerf::skip_fraction() const {
                    static_cast<double>(obligation);
 }
 
+double MsgPathPerf::express_hit_rate() const {
+  const std::uint64_t attempts =
+      express_hits + express_declined + express_materialized;
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(express_hits) / static_cast<double>(attempts);
+}
+
 void SimPerf::add(const SimPerf& other) {
   wall_seconds += other.wall_seconds;
   sim_cycles += other.sim_cycles;
@@ -36,6 +43,15 @@ void SimPerf::add(const SimPerf& other) {
   engine.cycles_skipped += other.engine.cycles_skipped;
   engine.clock_jumps += other.engine.clock_jumps;
   engine.wakes_scheduled += other.engine.wakes_scheduled;
+  msg.pool_heap_allocs += other.msg.pool_heap_allocs;
+  msg.pool_heap_bytes += other.msg.pool_heap_bytes;
+  msg.pool_acquires += other.msg.pool_acquires;
+  msg.pool_reuses += other.msg.pool_reuses;
+  msg.pool_high_water =
+      std::max(msg.pool_high_water, other.msg.pool_high_water);
+  msg.express_hits += other.msg.express_hits;
+  msg.express_declined += other.msg.express_declined;
+  msg.express_materialized += other.msg.express_materialized;
   for (const auto& s : other.slots) {
     auto it = std::find_if(slots.begin(), slots.end(),
                            [&](const sim::SlotPerf& m) {
@@ -63,6 +79,13 @@ std::string SimPerf::summary() const {
       << engine.cycles_stepped << " cycles stepped, "
       << engine.cycles_skipped << " skipped via " << engine.clock_jumps
       << " clock jumps; " << engine.wakes_scheduled << " wakes\n";
+  oss << "msg-path: pool " << msg.pool_acquires << " acquires ("
+      << msg.pool_reuses << " reused, " << msg.pool_heap_allocs
+      << " slab allocs, high-water " << msg.pool_high_water
+      << "); express " << msg.express_hits << " hits, "
+      << msg.express_declined << " declined, " << msg.express_materialized
+      << " materialized (" << msg.express_hit_rate() * 100.0
+      << "% hit rate)\n";
   return oss.str();
 }
 
@@ -84,6 +107,18 @@ void SimPerf::write_json(std::ostream& out, int indent) const {
   out << in2 << "\"cycles_skipped\": " << engine.cycles_skipped << ",\n";
   out << in2 << "\"clock_jumps\": " << engine.clock_jumps << ",\n";
   out << in2 << "\"wakes_scheduled\": " << engine.wakes_scheduled << "\n";
+  out << in1 << "},\n";
+  out << in1 << "\"msg_path\": {\n";
+  out << in2 << "\"pool_heap_allocs\": " << msg.pool_heap_allocs << ",\n";
+  out << in2 << "\"pool_heap_bytes\": " << msg.pool_heap_bytes << ",\n";
+  out << in2 << "\"pool_acquires\": " << msg.pool_acquires << ",\n";
+  out << in2 << "\"pool_reuses\": " << msg.pool_reuses << ",\n";
+  out << in2 << "\"pool_high_water\": " << msg.pool_high_water << ",\n";
+  out << in2 << "\"express_hits\": " << msg.express_hits << ",\n";
+  out << in2 << "\"express_declined\": " << msg.express_declined << ",\n";
+  out << in2 << "\"express_materialized\": " << msg.express_materialized
+      << ",\n";
+  out << in2 << "\"express_hit_rate\": " << msg.express_hit_rate() << "\n";
   out << in1 << "},\n";
   out << in1 << "\"slots\": [";
   for (std::size_t i = 0; i < slots.size(); ++i) {

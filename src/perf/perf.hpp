@@ -30,12 +30,30 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Message hot-path counters: the coherence-message pool and the mesh's
+/// express fast-forward path. Like the engine block, strictly
+/// observational — the counters never feed back into simulation state.
+struct MsgPathPerf {
+  std::uint64_t pool_heap_allocs = 0;  ///< slab mallocs (warmup only)
+  std::uint64_t pool_heap_bytes = 0;   ///< bytes of slab backing store
+  std::uint64_t pool_acquires = 0;     ///< messages handed out in total
+  std::uint64_t pool_reuses = 0;       ///< acquires served from the free list
+  std::uint64_t pool_high_water = 0;   ///< peak simultaneously-live messages
+  std::uint64_t express_hits = 0;         ///< packets delivered analytically
+  std::uint64_t express_declined = 0;     ///< fabric busy / conflict at send
+  std::uint64_t express_materialized = 0; ///< flights demoted mid-flight
+
+  /// Fraction of express-eligible sends that completed analytically.
+  double express_hit_rate() const;
+};
+
 /// One run's (or an aggregate of runs') simulator-throughput measurement.
 struct SimPerf {
   double wall_seconds = 0.0;
   std::uint64_t sim_cycles = 0;  ///< final engine clock, summed over runs
   std::uint64_t runs = 0;
   sim::EnginePerf engine;
+  MsgPathPerf msg;
   /// Per-component tick/wake counts, merged by slot name across runs.
   std::vector<sim::SlotPerf> slots;
 
@@ -47,7 +65,7 @@ struct SimPerf {
   /// Folds another measurement in (counters sum; slots merge by name).
   void add(const SimPerf& other);
 
-  /// Two-line human summary for `--perf`.
+  /// Three-line human summary for `--perf`.
   std::string summary() const;
   /// JSON object (BENCH_sim_throughput.json payload).
   void write_json(std::ostream& out, int indent = 0) const;

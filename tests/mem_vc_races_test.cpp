@@ -15,15 +15,21 @@
 namespace glocks::mem {
 namespace {
 
-/// Records every outgoing message instead of routing it.
+/// Records every outgoing message instead of routing it. Owns its own
+/// message pool, standing in for the Hierarchy's.
 struct StubTransport final : Transport {
   struct Sent {
     CoreId src, dst;
-    std::unique_ptr<CohMsg> msg;
+    CohMsgPtr msg;
   };
+  CohMsgPool pool;
   std::vector<Sent> sent;
-  void send(CoreId src, CoreId dst, std::unique_ptr<CohMsg> msg) override {
+  void send(CoreId src, CoreId dst, CohMsgPtr msg) override {
     sent.push_back(Sent{src, dst, std::move(msg)});
+  }
+  CohMsgPtr make_msg() override { return pool.acquire(); }
+  CohMsgPtr make_msg(const CohMsg& init) override {
+    return pool.acquire(init);
   }
   bool saw(CohType t) const {
     for (const auto& s : sent) {
@@ -44,9 +50,9 @@ class L1Races : public ::testing::Test {
     for (int i = 0; i < n; ++i) engine_.step();
   }
 
-  std::unique_ptr<CohMsg> make(CohType t, Addr line, bool exclusive = false,
-                               Word word0 = 0, CoreId requester = 0) {
-    auto m = std::make_unique<CohMsg>();
+  CohMsgPtr make(CohType t, Addr line, bool exclusive = false,
+                 Word word0 = 0, CoreId requester = 0) {
+    CohMsgPtr m = transport_.make_msg();
     m->type = t;
     m->line = line;
     m->sender = 1;
@@ -150,7 +156,7 @@ TEST(DirRaces, RequestOvertakesOwnPutM) {
     for (int i = 0; i < n; ++i) engine.step();
   };
   auto make = [&](CohType t, CoreId sender, Word word0 = 0) {
-    auto m = std::make_unique<CohMsg>();
+    CohMsgPtr m = transport.make_msg();
     m->type = t;
     m->line = line_of(0x40000);
     m->sender = sender;

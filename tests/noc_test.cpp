@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "common/config.hpp"
 #include "noc/mesh.hpp"
 
@@ -52,7 +53,7 @@ TEST_F(MeshFixture, ZeroLoadLatencyMatchesHopFormula) {
                                 {5, 6},
                                 {12, 3}}) {
     deliveries_.clear();
-    mesh_.send(src, dst, MsgClass::kRequest, 8, nullptr);
+    mesh_.send(src, dst, MsgClass::kRequest, 8, now_);
     const Cycle t0 = now_;
     run(200);
     ASSERT_EQ(deliveries_[dst].size(), 1u) << src << "->" << dst;
@@ -68,7 +69,7 @@ TEST_F(MeshFixture, ZeroLoadLatencyMatchesHopFormula) {
 TEST_F(MeshFixture, XYRoutingCountsHopBytesPerSwitch) {
   // 0 -> 15 crosses 6 hops + enters at the source router: the packet is
   // forwarded by 7 routers in total (source + 5 intermediate + dest).
-  mesh_.send(0, 15, MsgClass::kReply, 72, nullptr);
+  mesh_.send(0, 15, MsgClass::kReply, 72, now_);
   run(100);
   EXPECT_EQ(mesh_.stats().hops(MsgClass::kReply), 7u);
   EXPECT_EQ(mesh_.stats().bytes(MsgClass::kReply), 7u * 72u);
@@ -76,9 +77,9 @@ TEST_F(MeshFixture, XYRoutingCountsHopBytesPerSwitch) {
 }
 
 TEST_F(MeshFixture, TrafficClassesAccountedSeparately) {
-  mesh_.send(0, 1, MsgClass::kRequest, 8, nullptr);
-  mesh_.send(0, 1, MsgClass::kCoherence, 8, nullptr);
-  mesh_.send(1, 0, MsgClass::kReply, 72, nullptr);
+  mesh_.send(0, 1, MsgClass::kRequest, 8, now_);
+  mesh_.send(0, 1, MsgClass::kCoherence, 8, now_);
+  mesh_.send(1, 0, MsgClass::kReply, 72, now_);
   run(100);
   EXPECT_EQ(mesh_.stats().bytes(MsgClass::kRequest), 2u * 8u);
   EXPECT_EQ(mesh_.stats().bytes(MsgClass::kCoherence), 2u * 8u);
@@ -88,7 +89,7 @@ TEST_F(MeshFixture, TrafficClassesAccountedSeparately) {
 
 TEST_F(MeshFixture, SameSrcDstPairDeliversInFifoOrder) {
   for (int i = 0; i < 20; ++i) {
-    mesh_.send(0, 15, MsgClass::kRequest, 8, nullptr);
+    mesh_.send(0, 15, MsgClass::kRequest, 8, now_);
   }
   run(400);
   ASSERT_EQ(deliveries_[15].size(), 20u);
@@ -104,7 +105,7 @@ TEST_F(MeshFixture, HeavyFanInDeliversEverythingDespiteBackpressure) {
   for (CoreId src = 0; src < kTiles; ++src) {
     if (src == 5) continue;
     for (int i = 0; i < 40; ++i) {
-      mesh_.send(src, 5, MsgClass::kRequest, 8, nullptr);
+      mesh_.send(src, 5, MsgClass::kRequest, 8, now_);
       ++expected;
     }
   }
@@ -115,7 +116,7 @@ TEST_F(MeshFixture, HeavyFanInDeliversEverythingDespiteBackpressure) {
 
 TEST_F(MeshFixture, EjectionPortDeliversAtMostOnePerCycle) {
   for (CoreId src = 1; src < 5; ++src) {
-    mesh_.send(src, 0, MsgClass::kRequest, 8, nullptr);
+    mesh_.send(src, 0, MsgClass::kRequest, 8, now_);
   }
   run(200);
   ASSERT_EQ(deliveries_[0].size(), 4u);
@@ -126,14 +127,14 @@ TEST_F(MeshFixture, EjectionPortDeliversAtMostOnePerCycle) {
 
 TEST_F(MeshFixture, IdleAfterDrainAndBusyInFlight) {
   EXPECT_TRUE(mesh_.idle());
-  mesh_.send(0, 15, MsgClass::kRequest, 8, nullptr);
+  mesh_.send(0, 15, MsgClass::kRequest, 8, now_);
   EXPECT_FALSE(mesh_.idle());
   run(100);
   EXPECT_TRUE(mesh_.idle());
 }
 
 TEST_F(MeshFixture, RejectsSameTileMessages) {
-  EXPECT_THROW(mesh_.send(3, 3, MsgClass::kRequest, 8, nullptr),
+  EXPECT_THROW(mesh_.send(3, 3, MsgClass::kRequest, 8, now_),
                glocks::SimError);
 }
 
@@ -143,6 +144,122 @@ TEST_F(MeshFixture, HopDistanceIsManhattan) {
   EXPECT_EQ(mesh_.hop_distance(0, 15), 6u);
   EXPECT_EQ(mesh_.hop_distance(15, 0), 6u);
   EXPECT_EQ(mesh_.hop_distance(5, 10), 2u);
+}
+
+TEST_F(MeshFixture, MaterializedEjectionsDrainInArrivalOrderAcrossClasses) {
+  // Regression: two same-pair express flights of different classes, the
+  // later one of a lower-numbered class, forced to materialize just
+  // before the first arrival. Both land in the destination's single
+  // cross-class ejection FIFO, which must be seeded in arrival order —
+  // seeding in class order head-of-line blocks the earlier packet
+  // behind the later one.
+  mesh_.send(3, 0, MsgClass::kCoherence, 8, now_);  // arrives at 16
+  run(1);
+  mesh_.send(3, 0, MsgClass::kRequest, 8, now_);  // arrives at 17
+  run(14);
+  ASSERT_EQ(now_, 15u);
+  // Two identical same-cycle sends double-book an output port: the
+  // second conflicts and materializes every active flight while both
+  // earlier packets are past their last switch.
+  mesh_.send(5, 6, MsgClass::kRequest, 8, now_);
+  mesh_.send(5, 6, MsgClass::kRequest, 8, now_);
+  EXPECT_GE(mesh_.express_perf().materialized, 2u);
+  run(100);
+  ASSERT_EQ(deliveries_[0].size(), 2u);
+  EXPECT_EQ(deliveries_[0][0].cycle, 16u);  // kCoherence, sent first
+  EXPECT_EQ(deliveries_[0][1].cycle, 17u);  // kRequest, sent second
+  EXPECT_LT(deliveries_[0][0].seq, deliveries_[0][1].seq);
+}
+
+// Property: the express fast-forward path is an invisible optimisation.
+// Two meshes — express on vs off — driven in lockstep with identical
+// random traffic must deliver every packet at the identical cycle, in
+// the identical order, with identical per-class traffic accounting. The
+// load alternates between sparse phases (express engages) and bursts
+// (conflicts force declines and mid-flight materialization), so every
+// express code path is crossed and checked.
+TEST(ExpressProperty, LockstepMatchesHopByHopExactly) {
+  struct D {
+    Cycle cycle;
+    std::uint64_t seq;
+    CoreId src;
+    MsgClass cls;
+    bool operator==(const D& o) const {
+      return cycle == o.cycle && seq == o.seq && src == o.src &&
+             cls == o.cls;
+    }
+  };
+  ExpressPerf total;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    NocConfig on, off;
+    on.express_routes = true;
+    off.express_routes = false;
+    Mesh a(16, 4, on), b(16, 4, off);
+    std::map<CoreId, std::vector<D>> da, db;
+    Cycle now = 0;
+    for (CoreId t = 0; t < 16; ++t) {
+      a.set_sink(t, [&da, &now, t](Packet&& p) {
+        da[t].push_back(D{now, p.seq, p.src, p.cls});
+      });
+      b.set_sink(t, [&db, &now, t](Packet&& p) {
+        db[t].push_back(D{now, p.seq, p.src, p.cls});
+      });
+    }
+    Rng rng(seed);
+    for (int step = 0; step < 4000; ++step) {
+      // Alternate sparse and bursty load phases.
+      const bool burst = (step / 250) % 2 == 1;
+      const double p = burst ? 0.5 : 0.03;
+      if (rng.uniform() < p) {
+        const int n = burst ? 1 + static_cast<int>(rng.below(4)) : 1;
+        for (int i = 0; i < n; ++i) {
+          const auto src = static_cast<CoreId>(rng.below(16));
+          auto dst = static_cast<CoreId>(rng.below(16));
+          if (dst == src) dst = (dst + 1) % 16;
+          const auto cls = static_cast<MsgClass>(rng.below(3));
+          const std::uint32_t bytes = cls == MsgClass::kReply ? 72 : 8;
+          a.send(src, dst, cls, bytes, now);
+          b.send(src, dst, cls, bytes, now);
+        }
+      }
+      a.tick(now);
+      b.tick(now);
+      ++now;
+    }
+    // Drain both fabrics completely.
+    for (int step = 0; step < 3000 && !(a.idle() && b.idle()); ++step) {
+      a.tick(now);
+      b.tick(now);
+      ++now;
+    }
+    ASSERT_TRUE(a.idle() && b.idle()) << "seed " << seed;
+    for (CoreId t = 0; t < 16; ++t) {
+      ASSERT_EQ(da[t].size(), db[t].size())
+          << "tile " << t << " seed " << seed;
+      for (std::size_t i = 0; i < da[t].size(); ++i) {
+        EXPECT_TRUE(da[t][i] == db[t][i])
+            << "tile " << t << " delivery " << i << " seed " << seed
+            << ": express (cycle " << da[t][i].cycle << ", seq "
+            << da[t][i].seq << ") vs physical (cycle " << db[t][i].cycle
+            << ", seq " << db[t][i].seq << ")";
+      }
+    }
+    for (const auto cls :
+         {MsgClass::kRequest, MsgClass::kReply, MsgClass::kCoherence}) {
+      EXPECT_EQ(a.stats().bytes(cls), b.stats().bytes(cls)) << "seed " << seed;
+      EXPECT_EQ(a.stats().hops(cls), b.stats().hops(cls)) << "seed " << seed;
+      EXPECT_EQ(a.stats().packets(cls), b.stats().packets(cls))
+          << "seed " << seed;
+    }
+    total.hits += a.express_perf().hits;
+    total.declined += a.express_perf().declined;
+    total.materialized += a.express_perf().materialized;
+  }
+  // The load pattern must have crossed every express code path, or the
+  // property proves less than it claims.
+  EXPECT_GT(total.hits, 0u);
+  EXPECT_GT(total.declined, 0u);
+  EXPECT_GT(total.materialized, 0u);
 }
 
 TEST(MsgClass, Names) {

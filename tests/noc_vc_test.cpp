@@ -47,9 +47,9 @@ TEST_F(VcFixture, RepliesAreNotBlockedBehindCoherenceBursts) {
   // same way. With shared FIFOs the Reply would wait behind the burst;
   // with per-class VCs it overtakes most of it.
   for (int i = 0; i < 30; ++i) {
-    mesh_.send(0, 3, MsgClass::kCoherence, 8, nullptr);
+    mesh_.send(0, 3, MsgClass::kCoherence, 8, now_);
   }
-  mesh_.send(0, 3, MsgClass::kReply, 72, nullptr);
+  mesh_.send(0, 3, MsgClass::kReply, 72, now_);
   run(400);
   ASSERT_EQ(got_[3].size(), 31u);
   // Find the reply's delivery position within the stream.
@@ -62,8 +62,8 @@ TEST_F(VcFixture, RepliesAreNotBlockedBehindCoherenceBursts) {
 
 TEST_F(VcFixture, WithinClassFifoOrderStillHolds) {
   for (int i = 0; i < 12; ++i) {
-    mesh_.send(0, 15, MsgClass::kRequest, 8, nullptr);
-    mesh_.send(0, 15, MsgClass::kCoherence, 8, nullptr);
+    mesh_.send(0, 15, MsgClass::kRequest, 8, now_);
+    mesh_.send(0, 15, MsgClass::kCoherence, 8, now_);
   }
   run(600);
   ASSERT_EQ(got_[15].size(), 24u);
@@ -81,9 +81,9 @@ TEST_F(VcFixture, AllClassesDrainUnderCrossTraffic) {
   for (CoreId src = 0; src < 16; ++src) {
     for (CoreId dst = 0; dst < 16; ++dst) {
       if (src == dst) continue;
-      mesh_.send(src, dst, MsgClass::kRequest, 8, nullptr);
-      mesh_.send(src, dst, MsgClass::kReply, 72, nullptr);
-      mesh_.send(src, dst, MsgClass::kCoherence, 8, nullptr);
+      mesh_.send(src, dst, MsgClass::kRequest, 8, now_);
+      mesh_.send(src, dst, MsgClass::kReply, 72, now_);
+      mesh_.send(src, dst, MsgClass::kCoherence, 8, now_);
       expected += 3;
     }
   }

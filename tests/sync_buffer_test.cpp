@@ -83,7 +83,7 @@ TEST(SyncBuffer, MisuseIsCaught) {
   harness::RunConfig cfg;
   cfg.cmp.num_cores = 4;
   harness::CmpSystem sys(cfg.cmp);
-  auto msg = std::make_unique<mem::CohMsg>();
+  mem::CohMsgPtr msg = sys.hierarchy().msg_pool().acquire();
   msg->type = mem::CohType::kSbRelease;
   msg->line = 0x77;
   msg->sender = 2;
