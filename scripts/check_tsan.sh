@@ -7,8 +7,12 @@
 # threads under -DGLOCKS_SANITIZE=thread and runs them:
 #
 #   exec_pool_test    pool/queue/emitter semantics
-#   determinism_test  parallel sweeps byte-identical to serial
+#   determinism_test  parallel sweeps byte-identical to serial, and the
+#                     sweep-resume manifest recording from pool threads
 #   soak_test         whole machines running concurrently on pool threads
+#                     (including the checkpoint-churn soak)
+#   ckpt_test         archive/manifest units
+#   ckpt_equivalence_test  checkpoint/restore round trips
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -19,7 +23,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DGLOCKS_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-      --target exec_pool_test determinism_test soak_test
+      --target exec_pool_test determinism_test soak_test \
+               ckpt_test ckpt_equivalence_test
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-      -R '^(exec_pool_test|determinism_test|soak_test)$'
+      -R '^(exec_pool_test|determinism_test|soak_test|ckpt_test|ckpt_equivalence_test)$'
 echo "TSan check passed."

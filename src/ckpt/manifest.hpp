@@ -1,0 +1,57 @@
+// Sweep-resume manifest: an append-only checkpoint of a sweep grid.
+//
+// The file is a standard ckpt archive: one kSweepSpec section holding
+// the canonical byte signature of the sweep spec, then one kSweepRow
+// section per completed grid point ({u64 grid index, rendered CSV row}).
+// Rows are appended and flushed as points finish, so a killed sweep
+// loses at most the row being written — reopening tolerates a truncated
+// final section (and rewrites the file without it before appending).
+// Reopening against a different spec signature is a kSpecMismatch
+// error: a manifest never silently resumes a different grid.
+//
+// Lives in glocks_ckpt (archive layer) rather than glocks_ckptsys: the
+// sweep executor (glocks_exec) consumes it, and rows are opaque strings
+// here — the executor owns the CSV schema.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/archive.hpp"
+
+namespace glocks::ckpt {
+
+class SweepManifest {
+ public:
+  /// Opens `path`, creating it with `spec_signature` when absent. When
+  /// the file exists, its stored signature must equal `spec_signature`
+  /// byte-for-byte (kSpecMismatch otherwise) and previously recorded
+  /// rows become completed(). Structural damage beyond a truncated tail
+  /// throws the matching CkptError.
+  SweepManifest(const std::string& path,
+                const std::vector<std::uint8_t>& spec_signature);
+  ~SweepManifest();
+  SweepManifest(const SweepManifest&) = delete;
+  SweepManifest& operator=(const SweepManifest&) = delete;
+
+  /// Grid points a previous (interrupted) sweep already finished:
+  /// grid index -> rendered CSV row.
+  const std::map<std::uint64_t, std::string>& completed() const {
+    return completed_;
+  }
+
+  /// Records one finished grid point. Thread-safe; the row is framed as
+  /// one archive section, appended and flushed before returning.
+  void record(std::uint64_t index, const std::string& row);
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::map<std::uint64_t, std::string> completed_;
+  std::mutex mu_;
+};
+
+}  // namespace glocks::ckpt

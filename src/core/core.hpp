@@ -56,6 +56,13 @@ class Core final : public sim::Component {
 
   void tick(Cycle now) override;
 
+  /// Checkpoint: architectural lock/barrier registers, SB/QOLB station
+  /// registers, dormancy bookkeeping, and the thread's serializable state.
+  /// The coroutine resume point is host-side state and is re-established
+  /// by deterministic replay (docs/checkpoint_format.md).
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   void resume(Cycle now);
   /// Leaves the active set, recording what each skipped cycle would have

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/manifest.hpp"
 #include "common/config.hpp"
 #include "locks/factory.hpp"
 #include "perf/perf.hpp"
@@ -35,6 +36,12 @@ struct SweepSpec {
 /// Number of grid points (rows) the spec expands to.
 std::size_t sweep_size(const SweepSpec& spec);
 
+/// Canonical byte signature of everything about the spec that determines
+/// the grid and its row bytes. `jobs` is deliberately excluded — it
+/// never changes the output — so a sweep may be resumed with a different
+/// worker count. This is the signature a SweepManifest is keyed on.
+std::vector<std::uint8_t> sweep_signature(const SweepSpec& spec);
+
 /// Runs the whole grid and streams the CSV (header, then one row per
 /// point prefixed with `cores` and `seed` columns) to `os`. Rows appear
 /// as the complete grid prefix finishes — never interleaved, always in
@@ -42,7 +49,14 @@ std::size_t sweep_size(const SweepSpec& spec);
 /// When `perf_out` is non-null it receives the per-run simulator-perf
 /// measurements folded across the grid (--perf); wall_seconds there sums
 /// per-run time, so it exceeds elapsed time when jobs overlap.
+/// When `manifest` is non-null (opened against sweep_signature(spec)),
+/// grid points it already holds are emitted from the manifest instead of
+/// re-run, and every freshly finished point is recorded to it — so a killed
+/// sweep resumes with the completed prefix skipped and the final CSV
+/// byte-identical to an uninterrupted run. Resumed rows contribute no
+/// perf measurements (those runs happened in the earlier process).
 void run_sweep(const SweepSpec& spec, std::ostream& os,
-               perf::SimPerf* perf_out = nullptr);
+               perf::SimPerf* perf_out = nullptr,
+               ckpt::SweepManifest* manifest = nullptr);
 
 }  // namespace glocks::exec

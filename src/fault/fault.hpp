@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/archive.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -92,6 +93,11 @@ struct FaultStats {
   }
 };
 
+/// Checkpoint codec for the aggregated counters (including the detection
+/// latency histogram, bin by bin).
+void save_fault_stats(ckpt::ArchiveWriter& a, const FaultStats& s);
+void load_fault_stats(ckpt::ArchiveReader& a, FaultStats& s);
+
 /// Shared health board: the lock factory reads it to decide whether a
 /// GLock id still has working hardware behind it, and the fallback lock
 /// wrapper reports its activity here (the G-line system owns the board
@@ -102,6 +108,10 @@ struct GlockHealth {
   std::vector<std::uint8_t> demoted;  ///< per GLock id; stable addresses
   std::uint64_t fallback_acquires = 0;
 };
+
+/// Checkpoint codec for the health board.
+void save_glock_health(ckpt::ArchiveWriter& a, const GlockHealth& h);
+void load_glock_health(ckpt::ArchiveReader& a, GlockHealth& h);
 
 /// Outcome of sending one frame on a wire, plus the ledger events that
 /// ride along. `events` carries at most two ids (a garble and a delay can
@@ -155,6 +165,11 @@ class FaultInjector {
 
   const FaultConfig& config() const { return cfg_; }
   Cycle stuck_from(std::uint32_t wire) const { return stuck_from_[wire]; }
+
+  /// Checkpoint: stuck-at schedule, event ledger, aggregated stats, and
+  /// the finalized flag. The config is construction-time state.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
 
  private:
   double roll(std::uint32_t wire, Cycle now, std::uint32_t salt) const;

@@ -79,6 +79,12 @@ class FramedChannel {
   /// when co-located.
   std::uint32_t num_glines() const { return wire(0).is_gline() ? 1u : 0u; }
 
+  /// Checkpoint: both wires, both ARQ directions (queues, sequence bits,
+  /// watchdog timers, pending fault events) and the dead flag. Timeout
+  /// parameters and fault wiring are construction-time state.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   struct Tx {
     std::deque<Sym> outq;

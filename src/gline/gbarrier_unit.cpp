@@ -125,4 +125,48 @@ bool GBarrierUnit::idle() const {
   return rows_arrived_ == 0;
 }
 
+// ---- checkpoint ----
+
+void GBarrierUnit::save(ckpt::ArchiveWriter& a) const {
+  a.u32(static_cast<std::uint32_t>(lcs_.size()));
+  for (const LocalCtl& lc : lcs_) {
+    a.u8(static_cast<std::uint8_t>(lc.state));
+    lc.up.save(a);
+    lc.down.save(a);
+  }
+  a.u32(static_cast<std::uint32_t>(rows_.size()));
+  for (const Row& r : rows_) {
+    a.u32(r.arrived);
+    a.b(r.reported);
+    r.up.save(a);
+    r.down.save(a);
+  }
+  a.u32(rows_arrived_);
+  a.u64(stats_.episodes);
+  a.u64(stats_.signals);
+  a.u64(stats_.local_flags);
+}
+
+void GBarrierUnit::load(ckpt::ArchiveReader& a) {
+  GLOCKS_CHECK(a.u32() == lcs_.size(),
+               "checkpoint barrier LC count mismatch");
+  for (LocalCtl& lc : lcs_) {
+    lc.state = static_cast<LcState>(a.u8());
+    lc.up.load(a);
+    lc.down.load(a);
+  }
+  GLOCKS_CHECK(a.u32() == rows_.size(),
+               "checkpoint barrier row count mismatch");
+  for (Row& r : rows_) {
+    r.arrived = a.u32();
+    r.reported = a.b();
+    r.up.load(a);
+    r.down.load(a);
+  }
+  rows_arrived_ = a.u32();
+  stats_.episodes = a.u64();
+  stats_.signals = a.u64();
+  stats_.local_flags = a.u64();
+}
+
 }  // namespace glocks::gline

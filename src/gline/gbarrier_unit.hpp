@@ -56,6 +56,10 @@ class GBarrierUnit {
   /// G-line system. Used by the event-driven kernel only.
   bool dormant() const;
 
+  /// Checkpoint: controller FSMs, wires, row aggregation state, stats.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   enum class LcState : std::uint8_t { kIdle, kArrived };
 

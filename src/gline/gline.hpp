@@ -6,6 +6,7 @@
 #include <deque>
 #include <optional>
 
+#include "ckpt/archive.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "fault/fault.hpp"
@@ -115,6 +116,39 @@ class Wire {
     return std::nullopt;
   }
 
+  /// Checkpoint: in-flight pulses/frames and the pulse counter. Latency,
+  /// locality and fault wiring are construction-time state.
+  void save(ckpt::ArchiveWriter& a) const {
+    a.u32(static_cast<std::uint32_t>(arrivals_.size()));
+    for (Cycle c : arrivals_) a.u64(c);
+    a.u32(static_cast<std::uint32_t>(frames_.size()));
+    for (const Frame& f : frames_) {
+      a.u64(f.at);
+      a.u64(f.sent);
+      a.u8(f.payload);
+      a.b(f.garbled);
+      a.i64(f.garble_event);
+      a.i64(f.delay_event);
+    }
+    a.u64(pulses_sent_);
+  }
+  void load(ckpt::ArchiveReader& a) {
+    arrivals_.clear();
+    for (std::uint32_t n = a.u32(); n > 0; --n) arrivals_.push_back(a.u64());
+    frames_.clear();
+    for (std::uint32_t n = a.u32(); n > 0; --n) {
+      Frame f;
+      f.at = a.u64();
+      f.sent = a.u64();
+      f.payload = a.u8();
+      f.garbled = a.b();
+      f.garble_event = static_cast<std::int32_t>(a.i64());
+      f.delay_event = static_cast<std::int32_t>(a.i64());
+      frames_.push_back(f);
+    }
+    pulses_sent_ = a.u64();
+  }
+
   bool is_gline() const { return !is_local_; }
   std::uint64_t pulses_sent() const { return pulses_sent_; }
   bool idle() const { return arrivals_.empty() && frames_.empty(); }
@@ -140,5 +174,21 @@ struct GlineStats {
   std::uint64_t releases = 0;
   std::uint64_t secondary_passes = 0;  ///< completed row scheduling passes
 };
+
+/// Checkpoint codec for the counters.
+inline void save_gline_stats(ckpt::ArchiveWriter& a, const GlineStats& s) {
+  a.u64(s.signals);
+  a.u64(s.local_flags);
+  a.u64(s.acquires_granted);
+  a.u64(s.releases);
+  a.u64(s.secondary_passes);
+}
+inline void load_gline_stats(ckpt::ArchiveReader& a, GlineStats& s) {
+  s.signals = a.u64();
+  s.local_flags = a.u64();
+  s.acquires_granted = a.u64();
+  s.releases = a.u64();
+  s.secondary_passes = a.u64();
+}
 
 }  // namespace glocks::gline

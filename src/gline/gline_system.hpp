@@ -78,6 +78,12 @@ class GlineSystem final : public sim::Component {
   /// diagnostic.
   std::string debug_dump() const;
 
+  /// Checkpoint: every lock unit and barrier, plus (in fault mode) the
+  /// injector ledger and the health board. The unit flavour and counts
+  /// are construction-time state and are validated on load.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   bool hierarchical_ = false;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -68,6 +68,10 @@ class GlockUnit {
   /// G-line system). Used by the event-driven kernel only.
   bool dormant() const;
 
+  /// Checkpoint: controller FSMs, wires, manager flags/token state, stats.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   enum class LcState : std::uint8_t { kIdle, kWaiting, kHolding };
 

@@ -66,6 +66,11 @@ class GuardedGlockUnit {
   /// Multi-line controller/flag/token dump for the hang diagnostic.
   std::string debug_dump() const;
 
+  /// Checkpoint: leaf FSMs + channels, manager flags/token state, holder
+  /// count, failing/demoted flags, stats.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   enum class LcState : std::uint8_t { kIdle, kWaiting, kHolding };
 

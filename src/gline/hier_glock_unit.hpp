@@ -51,6 +51,10 @@ class HierGlockUnit {
   /// G-line system. Used by the event-driven kernel only.
   bool dormant() const;
 
+  /// Checkpoint: controller FSMs, wires, node flags/token state, stats.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   enum class LcState : std::uint8_t { kIdle, kWaiting, kHolding };
 

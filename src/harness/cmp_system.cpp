@@ -104,13 +104,32 @@ bool CmpSystem::all_threads_finished() const {
   return true;
 }
 
-Cycle CmpSystem::run() {
+Cycle CmpSystem::run() { return run({}, nullptr); }
+
+Cycle CmpSystem::run(const std::vector<Cycle>& pause_at,
+                     const std::function<void(Cycle)>& on_pause) {
   std::uint32_t bound = 0;
   for (const auto& c : cores_) {
     if (c->bound()) ++bound;
   }
-  const Cycle end = engine_.run_until(
-      [this, bound] { return finished_count_ == bound; }, cfg_.max_cycles);
+  const auto done = [this, bound] { return finished_count_ == bound; };
+  Cycle end = 0;
+  std::size_t next = 0;
+  for (;;) {
+    if (next >= pause_at.size()) {
+      end = engine_.run_until(done, cfg_.max_cycles);
+      break;
+    }
+    const Cycle p = pause_at[next];
+    if (p <= engine_.now()) {  // stale pause point, already passed
+      ++next;
+      continue;
+    }
+    end = engine_.run_until_or_pause(done, cfg_.max_cycles, p);
+    if (done()) break;
+    ++next;
+    if (on_pause) on_pause(engine_.now());
+  }
   // Drain writebacks / in-flight protocol messages so post-run memory
   // verification sees settled state. The budget scales with the machine
   // (config-derived round-trip bound) instead of a flat constant.
@@ -118,6 +137,69 @@ Cycle CmpSystem::run() {
       [this] { return hierarchy_.quiescent() && glines_->idle(); },
       engine_.now() + cfg_.effective_drain_budget(), "post-run drain");
   return end;
+}
+
+void CmpSystem::save_state(ckpt::ArchiveWriter& a) {
+  a.begin_section(ckpt::tags::kEngine);
+  engine_.save(a);
+  a.end_section();
+  a.begin_section(ckpt::tags::kCores);
+  a.u32(num_cores());
+  a.u32(finished_count_);
+  for (const auto& c : cores_) c->save(a);
+  a.end_section();
+  a.begin_section(ckpt::tags::kGlines);
+  glines_->save(a);
+  a.end_section();
+  a.begin_section(ckpt::tags::kCensus);
+  census_.save(a);
+  a.end_section();
+  a.begin_section(ckpt::tags::kHeap);
+  heap_.save(a);
+  a.end_section();
+  // Mesh before hierarchy: the hierarchy section ends with the message-
+  // pool counters, which a load must apply after every pooled payload
+  // (mesh packets included) has been re-acquired.
+  const noc::PayloadCodec codec = hierarchy_.payload_codec();
+  a.begin_section(ckpt::tags::kMesh);
+  mesh_.save(a, codec);
+  a.end_section();
+  a.begin_section(ckpt::tags::kHierarchy);
+  hierarchy_.save(a);
+  a.end_section();
+}
+
+namespace {
+
+void expect_section(ckpt::ArchiveReader& a, std::uint32_t tag,
+                    const char* name) {
+  if (!a.next_section() || a.section_tag() != tag) {
+    throw ckpt::CkptError(
+        ckpt::CkptError::Code::kBadSection,
+        std::string("checkpoint is missing the ") + name + " section");
+  }
+}
+
+}  // namespace
+
+void CmpSystem::load_state(ckpt::ArchiveReader& a) {
+  expect_section(a, ckpt::tags::kEngine, "engine");
+  engine_.load(a);
+  expect_section(a, ckpt::tags::kCores, "cores");
+  GLOCKS_CHECK(a.u32() == num_cores(), "checkpoint core count mismatch");
+  finished_count_ = a.u32();
+  for (const auto& c : cores_) c->load(a);
+  expect_section(a, ckpt::tags::kGlines, "G-line");
+  glines_->load(a);
+  expect_section(a, ckpt::tags::kCensus, "census");
+  census_.load(a);
+  expect_section(a, ckpt::tags::kHeap, "heap");
+  heap_.load(a);
+  const noc::PayloadCodec codec = hierarchy_.payload_codec();
+  expect_section(a, ckpt::tags::kMesh, "mesh");
+  mesh_.load(a, codec);
+  expect_section(a, ckpt::tags::kHierarchy, "hierarchy");
+  hierarchy_.load(a);
 }
 
 }  // namespace glocks::harness

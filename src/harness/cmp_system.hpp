@@ -3,9 +3,11 @@
 // order the timing model expects.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "ckpt/archive.hpp"
 #include "common/config.hpp"
 #include "core/core.hpp"
 #include "gline/gline_system.hpp"
@@ -45,6 +47,28 @@ class CmpSystem {
   /// coherence traffic. Returns the cycle the last thread finished at
   /// (the paper's execution-time metric excludes the drain tail).
   Cycle run();
+
+  /// run(), pausing at each cycle in `pause_at` (ascending) to invoke
+  /// `on_pause` — the checkpoint layer's hook. Pauses beyond the cycle
+  /// the last thread finishes at are skipped (nothing left to save that
+  /// a restore could resume into). Pausing never perturbs the run: the
+  /// paused-and-resumed machine ticks identically to an uninterrupted
+  /// one (tests/ckpt_equivalence_test.cpp holds us to that).
+  Cycle run(const std::vector<Cycle>& pause_at,
+            const std::function<void(Cycle)>& on_pause);
+
+  /// Serializes the full machine state as one section per subsystem.
+  /// Section order matters on the way back in: the hierarchy writes its
+  /// message-pool counters after the mesh so a load ends with exact pool
+  /// accounting (see mem/hierarchy.cpp).
+  void save_state(ckpt::ArchiveWriter& a);
+
+  /// Restores machine state saved by save_state(). Coroutine frames and
+  /// completion callbacks are NOT restored — they are host-side state
+  /// that only deterministic replay can rebuild (docs/checkpoint_format
+  /// .md); this entry point exists for component-level tests and for the
+  /// restore path's byte-exact verification of a replayed machine.
+  void load_state(ckpt::ArchiveReader& a);
 
   /// Per-core wait states and lock registers plus the G-line units'
   /// controller/token dump; installed as the engine's hang reporter.

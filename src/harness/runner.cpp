@@ -22,6 +22,11 @@ std::uint64_t RunResult::total_thread_cycles() const {
 }
 
 RunResult run_workload(Workload& workload, const RunConfig& cfg) {
+  return run_workload(workload, cfg, RunHooks{});
+}
+
+RunResult run_workload(Workload& workload, const RunConfig& cfg,
+                       const RunHooks& hooks) {
   const perf::WallTimer timer;
   CmpSystem sys(cfg.cmp);
   WorkloadContext ctx(sys, cfg.policy, cfg.seed);
@@ -44,7 +49,9 @@ RunResult run_workload(Workload& workload, const RunConfig& cfg) {
   RunResult r;
   r.workload = workload.name();
   r.hc_lock_kind = std::string(locks::to_string(cfg.policy.highly_contended));
-  r.cycles = sys.run();
+  r.cycles = sys.run(hooks.pause_at, [&](Cycle at) {
+    if (hooks.on_pause) hooks.on_pause(sys, at);
+  });
   r.perf = perf::capture(sys.engine(), timer.seconds());
   {
     const auto& ps = sys.hierarchy().msg_pool_stats();

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -79,7 +80,20 @@ struct RunResult {
   std::uint64_t total_thread_cycles() const;
 };
 
+/// Optional instrumentation for the checkpoint layer: pause the machine
+/// at chosen cycles mid-run and observe it while paused. Pausing never
+/// changes what the run computes (tests/ckpt_equivalence_test.cpp).
+struct RunHooks {
+  /// Cycles (ascending) at which the run pauses. Pauses past the cycle
+  /// the last thread finishes are skipped.
+  std::vector<Cycle> pause_at;
+  /// Invoked at each pause with the quiescent-at-cycle-boundary machine.
+  std::function<void(CmpSystem&, Cycle)> on_pause;
+};
+
 /// Runs `workload` once under `cfg`. Each call builds a fresh machine.
 RunResult run_workload(Workload& workload, const RunConfig& cfg);
+RunResult run_workload(Workload& workload, const RunConfig& cfg,
+                       const RunHooks& hooks);
 
 }  // namespace glocks::harness

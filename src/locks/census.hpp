@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "ckpt/archive.hpp"
 #include "common/stats.hpp"
 #include "locks/lock.hpp"
 #include "sim/engine.hpp"
@@ -52,6 +53,34 @@ class ContentionCensus final : public sim::Component {
   std::size_t num_locks() const { return lock_stats_.size(); }
   const Histogram& histogram(std::size_t i) const { return histograms_[i]; }
   const LockStats& lock_stats(std::size_t i) const { return *lock_stats_[i]; }
+
+  /// Checkpoint: per-lock histograms, cached requester counts, and the
+  /// last sample cycle. The watched-lock wiring is rebuilt by the system
+  /// builder and validated by count here.
+  void save(ckpt::ArchiveWriter& a) const {
+    a.u32(static_cast<std::uint32_t>(histograms_.size()));
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+      const Histogram& h = histograms_[i];
+      a.u32(h.max_bin());
+      for (std::uint32_t b = 0; b <= h.max_bin(); ++b) a.u64(h.count(b));
+      a.u32(cached_[i]);
+    }
+    a.u64(last_tick_);
+  }
+  void load(ckpt::ArchiveReader& a) {
+    GLOCKS_CHECK(a.u32() == histograms_.size(),
+                 "checkpoint census lock count mismatch");
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+      Histogram& h = histograms_[i];
+      GLOCKS_CHECK(a.u32() == h.max_bin(),
+                   "checkpoint census histogram shape mismatch");
+      for (std::uint32_t b = 0; b <= h.max_bin(); ++b) {
+        h.set_count(b, a.u64());
+      }
+      cached_[i] = a.u32();
+    }
+    last_tick_ = a.u64();
+  }
 
   /// Total census cycles across all locks (the denominator of eq. 3).
   std::uint64_t total_cycles() const {

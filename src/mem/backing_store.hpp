@@ -5,8 +5,11 @@
 // workload data before the simulation starts and to verify results after.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
+#include "ckpt/archive.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "mem/protocol.hpp"
@@ -37,6 +40,31 @@ class BackingStore {
   }
 
   std::size_t touched_lines() const { return lines_.size(); }
+
+  /// Checkpoint: touched lines in sorted address order (the map's own
+  /// iteration order is not canonical, so it never reaches the archive).
+  void save(ckpt::ArchiveWriter& a) const {
+    std::vector<Addr> keys;
+    keys.reserve(lines_.size());
+    for (const auto& [line, data] : lines_) keys.push_back(line);
+    std::sort(keys.begin(), keys.end());
+    a.u64(keys.size());
+    for (Addr line : keys) {
+      a.u64(line);
+      for (Word w : lines_.at(line)) a.u64(w);
+    }
+  }
+
+  void load(ckpt::ArchiveReader& a) {
+    lines_.clear();
+    const std::uint64_t n = a.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Addr line = a.u64();
+      LineData d{};
+      for (Word& w : d) w = a.u64();
+      lines_[line] = d;
+    }
+  }
 
  private:
   std::unordered_map<Addr, LineData> lines_;

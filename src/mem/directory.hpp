@@ -73,6 +73,12 @@ class DirSlice final : public sim::Component {
     l2_install(line, data, /*dirty=*/false, 0);
   }
 
+  /// Checkpoint: L2 lines, directory entries, active transactions,
+  /// deferred queues, inbox, in-flight data reads, and stats. Map-backed
+  /// state is written in sorted key order so the bytes are canonical.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   enum class DirState : std::uint8_t { kU, kS, kM };
 

@@ -82,6 +82,16 @@ class Hierarchy final : public Transport {
   L1Stats total_l1_stats() const;
   DirStats total_dir_stats() const;
 
+  /// Checkpoint: backing store, every L1/directory/SB/QOLB component,
+  /// and — written last, so a load overwrites any counts perturbed by
+  /// re-acquiring payload nodes — the message-pool counters.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
+  /// The codec the mesh uses to drain/restore pooled packet payloads
+  /// (PayloadKind::kCohMsg pointees live in this hierarchy's pool).
+  noc::PayloadCodec payload_codec();
+
  private:
   void deliver_local(CoreId tile, CohMsgPtr msg, Cycle ready);
   /// True when `t` is handled by the L1 (CPU side) rather than the home.

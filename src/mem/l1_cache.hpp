@@ -112,6 +112,12 @@ class L1Cache final : public sim::Component {
   /// Used by coherent post-run verification, not by the timing model.
   const LineData* probe_owned_data(Addr line) const;
 
+  /// Checkpoint: every line, the single MSHR (timing/protocol fields —
+  /// the retire callback is host-side state, re-established by replay;
+  /// see docs/checkpoint_format.md), writeback buffer, inbox, stats.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
+
  private:
   enum class LineState : std::uint8_t { kS, kE, kM };
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "ckpt/archive.hpp"
 #include "common/pool.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
@@ -133,5 +134,28 @@ struct CohMsg final {
 /// the node to the pool it came from instead of the heap.
 using CohMsgPool = common::Pool<CohMsg>;
 using CohMsgPtr = common::PoolPtr<CohMsg>;
+
+/// Portable (pointer-free) checkpoint encoding of one coherence message;
+/// the load side re-homes the value into whatever pool the restoring
+/// machine owns.
+inline void save_coh_msg(ckpt::ArchiveWriter& a, const CohMsg& m) {
+  a.u8(static_cast<std::uint8_t>(m.type));
+  a.u64(m.line);
+  a.u32(m.sender);
+  a.u32(m.requester);
+  a.b(m.exclusive);
+  for (Word w : m.data) a.u64(w);
+}
+
+inline CohMsg load_coh_msg(ckpt::ArchiveReader& a) {
+  CohMsg m;
+  m.type = static_cast<CohType>(a.u8());
+  m.line = a.u64();
+  m.sender = a.u32();
+  m.requester = a.u32();
+  m.exclusive = a.b();
+  for (Word& w : m.data) w = a.u64();
+  return m;
+}
 
 }  // namespace glocks::mem

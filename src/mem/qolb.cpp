@@ -124,4 +124,74 @@ void qolb_station_on_message(QolbStation& st, const CohMsg& msg,
   }
 }
 
+
+void save_qolb_station(ckpt::ArchiveWriter& a, const QolbStation& st) {
+  a.b(st.waiting);
+  a.b(st.granted);
+  a.u32(st.lock_id);
+  a.u32(st.successor);
+  a.b(st.holding);
+  a.b(st.pending_home_release);
+  a.b(st.release_done);
+  a.u64(st.direct_grants_sent);
+}
+
+void load_qolb_station(ckpt::ArchiveReader& a, QolbStation& st) {
+  st.waiting = a.b();
+  st.granted = a.b();
+  st.lock_id = a.u32();
+  st.successor = a.u32();
+  st.holding = a.b();
+  st.pending_home_release = a.b();
+  st.release_done = a.b();
+  st.direct_grants_sent = a.u64();
+}
+
+void QolbHome::save(ckpt::ArchiveWriter& a) const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(locks_.size());
+  for (const auto& [id, st] : locks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  a.u64(ids.size());
+  for (std::uint32_t id : ids) {
+    const LockState& st = locks_.at(id);
+    a.u32(id);
+    a.b(st.held);
+    a.u32(st.tail);
+  }
+  a.u64(inbox_.size());
+  for (const Inbox& in : inbox_) {
+    a.u64(in.ready);
+    save_coh_msg(a, *in.msg);
+  }
+  a.u64(stats_.enqueues);
+  a.u64(stats_.cold_grants);
+  a.u64(stats_.direct_grants);
+  a.u64(stats_.home_releases);
+}
+
+void QolbHome::load(ckpt::ArchiveReader& a) {
+  locks_.clear();
+  const std::uint64_t n = a.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t id = a.u32();
+    LockState st;
+    st.held = a.b();
+    st.tail = a.u32();
+    locks_[id] = st;
+  }
+  inbox_.clear();
+  const std::uint64_t nin = a.u64();
+  for (std::uint64_t i = 0; i < nin; ++i) {
+    Inbox in;
+    in.ready = a.u64();
+    in.msg = transport_.make_msg(load_coh_msg(a));
+    inbox_.push_back(std::move(in));
+  }
+  stats_.enqueues = a.u64();
+  stats_.cold_grants = a.u64();
+  stats_.direct_grants = a.u64();
+  stats_.home_releases = a.u64();
+}
+
 }  // namespace glocks::mem

@@ -56,6 +56,11 @@ struct QolbStation {
   sim::Component* owner = nullptr;
 };
 
+/// Checkpoint codec for the register fields (`owner` is wiring,
+/// reconstructed by the system builder).
+void save_qolb_station(ckpt::ArchiveWriter& a, const QolbStation& st);
+void load_qolb_station(ckpt::ArchiveReader& a, QolbStation& st);
+
 struct QolbStats {
   std::uint64_t enqueues = 0;
   std::uint64_t cold_grants = 0;    ///< home -> requester (lock was free)
@@ -74,6 +79,10 @@ class QolbHome final : public sim::Component {
 
   const QolbStats& stats() const { return stats_; }
   bool quiescent() const { return inbox_.empty(); }
+
+  /// Checkpoint: lock table (sorted by lock id), inbox, stats.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
 
  private:
   struct LockState {

@@ -5,6 +5,7 @@
 // layout must be deterministic.
 #pragma once
 
+#include "ckpt/archive.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
 
@@ -39,6 +40,10 @@ class SimAllocator {
   }
 
   Addr bytes_used(Addr base = 0x10000) const { return next_ - base; }
+
+  /// Checkpoint: the bump pointer (the layout itself is replay-built).
+  void save(ckpt::ArchiveWriter& a) const { a.u64(next_); }
+  void load(ckpt::ArchiveReader& a) { next_ = a.u64(); }
 
  private:
   Addr next_;

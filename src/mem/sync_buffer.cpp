@@ -72,4 +72,68 @@ void SyncBuffer::tick(Cycle now) {
 
 bool SyncBuffer::quiescent() const { return inbox_.empty(); }
 
+
+void save_sb_station(ckpt::ArchiveWriter& a, const SbStation& st) {
+  a.b(st.waiting);
+  a.b(st.granted);
+  a.u32(st.lock_id);
+}
+
+void load_sb_station(ckpt::ArchiveReader& a, SbStation& st) {
+  st.waiting = a.b();
+  st.granted = a.b();
+  st.lock_id = a.u32();
+}
+
+void SyncBuffer::save(ckpt::ArchiveWriter& a) const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(locks_.size());
+  for (const auto& [id, st] : locks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  a.u64(ids.size());
+  for (std::uint32_t id : ids) {
+    const LockState& st = locks_.at(id);
+    a.u32(id);
+    a.b(st.held);
+    a.u32(st.owner);
+    a.u64(st.waiters.size());
+    for (CoreId c : st.waiters) a.u32(c);
+  }
+  a.u64(inbox_.size());
+  for (const Inbox& in : inbox_) {
+    a.u64(in.ready);
+    save_coh_msg(a, *in.msg);
+  }
+  a.u64(stats_.acquires);
+  a.u64(stats_.grants);
+  a.u64(stats_.releases);
+  a.u64(stats_.max_queue);
+}
+
+void SyncBuffer::load(ckpt::ArchiveReader& a) {
+  locks_.clear();
+  const std::uint64_t n = a.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t id = a.u32();
+    LockState st;
+    st.held = a.b();
+    st.owner = a.u32();
+    const std::uint64_t nw = a.u64();
+    for (std::uint64_t j = 0; j < nw; ++j) st.waiters.push_back(a.u32());
+    locks_[id] = std::move(st);
+  }
+  inbox_.clear();
+  const std::uint64_t nin = a.u64();
+  for (std::uint64_t i = 0; i < nin; ++i) {
+    Inbox in;
+    in.ready = a.u64();
+    in.msg = transport_.make_msg(load_coh_msg(a));
+    inbox_.push_back(std::move(in));
+  }
+  stats_.acquires = a.u64();
+  stats_.grants = a.u64();
+  stats_.releases = a.u64();
+  stats_.max_queue = a.u64();
+}
+
 }  // namespace glocks::mem

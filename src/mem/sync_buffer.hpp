@@ -37,6 +37,11 @@ struct SbStation {
   sim::Component* owner = nullptr;
 };
 
+/// Checkpoint codec for the register fields (`owner` is wiring,
+/// reconstructed by the system builder).
+void save_sb_station(ckpt::ArchiveWriter& a, const SbStation& st);
+void load_sb_station(ckpt::ArchiveReader& a, SbStation& st);
+
 struct SbStats {
   std::uint64_t acquires = 0;
   std::uint64_t grants = 0;
@@ -55,6 +60,10 @@ class SyncBuffer final : public sim::Component {
 
   const SbStats& stats() const { return stats_; }
   bool quiescent() const;
+
+  /// Checkpoint: lock table (sorted by lock id), inbox, stats.
+  void save(ckpt::ArchiveWriter& a) const;
+  void load(ckpt::ArchiveReader& a);
 
  private:
   struct LockState {

@@ -94,6 +94,14 @@ class Mesh final : public sim::Component {
   /// Minimal hop distance between two tiles.
   std::uint32_t hop_distance(CoreId a, CoreId b) const;
 
+  /// Serializes the whole network: traffic/express counters, sequence
+  /// counter, NIC outboxes, every router's queues, and the active
+  /// express flights (kept virtual — saving must not perturb the
+  /// continuing run, so flights are written as their analytic
+  /// trajectories, payloads drained to portable form via `codec`).
+  void save(ckpt::ArchiveWriter& a, const PayloadCodec& codec) const;
+  void load(ckpt::ArchiveReader& a, const PayloadCodec& codec);
+
  private:
   struct Nic {
     /// Per-class outboxes, so a burst in one class cannot head-of-line

@@ -20,6 +20,11 @@
 #include "common/types.hpp"
 #include "noc/message.hpp"
 
+namespace glocks::ckpt {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace glocks::ckpt
+
 namespace glocks::noc {
 
 enum class Dir : std::uint8_t {
@@ -52,6 +57,26 @@ struct RouterTiming {
   Cycle link_latency = 1;
   std::uint32_t input_queue_depth = 16;
 };
+
+/// Serializes/deserializes the opaque payload a Packet carries. The NoC
+/// cannot interpret `Packet::payload` itself (the pointee lives in a
+/// typed pool owned by the memory hierarchy), so whoever owns the pools
+/// supplies the codec: `save` drains the pointee to portable bytes,
+/// `load` re-acquires a pool node and installs the pointer. Both are
+/// keyed off the packet's PayloadKind tag.
+struct PayloadCodec {
+  std::function<void(ckpt::ArchiveWriter&, const Packet&)> save;
+  std::function<void(ckpt::ArchiveReader&, Packet&)> load;
+  /// Releases a live payload back to its pool; load() calls this on
+  /// every packet it is about to discard so node accounting stays exact.
+  std::function<void(Packet&)> drop;
+};
+
+/// Portable packet encoding: every field except the raw payload pointer,
+/// then the payload bytes via the codec.
+void save_packet(ckpt::ArchiveWriter& a, const Packet& p,
+                 const PayloadCodec& codec);
+Packet load_packet(ckpt::ArchiveReader& a, const PayloadCodec& codec);
 
 class Router {
  public:
@@ -103,6 +128,12 @@ class Router {
   void place(Dir in, MsgClass cls, Packet&& p, Cycle ready);
   /// Same, for the local ejection queue (a flight past its last switch).
   void place_local(Packet&& p, Cycle ready);
+
+  /// Serializes queue contents (front-to-back, with ready cycles), the
+  /// round-robin pointer, and the occupancy counter. Payload pointees go
+  /// through `codec`; geometry/wiring is reconstructed by the builder.
+  void save(ckpt::ArchiveWriter& a, const PayloadCodec& codec) const;
+  void load(ckpt::ArchiveReader& a, const PayloadCodec& codec);
 
  private:
   struct Timed {

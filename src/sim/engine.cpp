@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ckpt/archive.hpp"
 #include "common/check.hpp"
 
 namespace glocks::sim {
@@ -58,6 +59,7 @@ void Engine::schedule(std::uint32_t slot, Cycle at) {
                                << slot_perf_[slot].name << ")");
   ++perf_.wakes_scheduled;
   ++slot_perf_[slot].wakes;
+  slots_[slot].last_wake = at;
   if (at == now_) {
     if (in_scan_ && slot <= scan_pos_) {
       // This slot's tick for the current cycle already ran (or is the
@@ -95,6 +97,7 @@ void Engine::step() {
   for (scan_pos_ = 0; scan_pos_ < slots_.size(); ++scan_pos_) {
     if (event && !slots_[scan_pos_].active) continue;
     slots_[scan_pos_].c->tick(now_);
+    slots_[scan_pos_].last_tick = now_;
     ++slot_perf_[scan_pos_].ticks;
     ++executed;
   }
@@ -107,17 +110,31 @@ void Engine::step() {
 
 Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles,
                         const char* phase) {
+  return run_loop(done, max_cycles, kNoCycle, phase);
+}
+
+Cycle Engine::run_until_or_pause(const std::function<bool()>& done,
+                                 Cycle max_cycles, Cycle pause_at,
+                                 const char* phase) {
+  return run_loop(done, max_cycles, pause_at, phase);
+}
+
+Cycle Engine::run_loop(const std::function<bool()>& done, Cycle max_cycles,
+                       Cycle pause_at, const char* phase) {
   while (!done()) {
+    if (now_ >= pause_at) return now_;
     if (now_ >= max_cycles) [[unlikely]] {
       throw_hang(max_cycles, phase);
     }
     if (mode_ == EngineMode::kEventDriven && num_active_ == 0) {
       // Everyone is dormant: jump straight to the earliest wake (never
       // past it), clamped to the cycle limit so an empty wake queue still
-      // lands on the ordinary hang path above.
-      const Cycle target = wakes_.empty()
-                               ? max_cycles
-                               : std::min(wakes_.front().at, max_cycles);
+      // lands on the ordinary hang path above, and to the pause point so
+      // a checkpoint lands on its exact cycle (the resumed jump re-aims
+      // at the same wake — a pure clock move either way).
+      Cycle target = wakes_.empty() ? max_cycles
+                                    : std::min(wakes_.front().at, max_cycles);
+      target = std::min(target, pause_at);
       if (target > now_) {
         ++perf_.clock_jumps;
         perf_.cycles_skipped += target - now_;
@@ -128,6 +145,36 @@ Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles,
     step();
   }
   return now_;
+}
+
+std::string Engine::dormancy_report() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.active) continue;
+    oss << "  " << slot_perf_[i].name << ": dormant";
+    if (s.last_tick == kNoCycle) {
+      oss << ", never ticked";
+    } else {
+      oss << ", last tick @" << s.last_tick;
+    }
+    if (s.last_wake == kNoCycle) {
+      oss << ", no wake ever scheduled";
+    } else {
+      oss << ", last wake scheduled for @" << s.last_wake;
+    }
+    Cycle pending = kNoCycle;
+    for (const Wake& w : wakes_) {
+      if (w.slot == i) pending = std::min(pending, w.at);
+    }
+    if (pending == kNoCycle) {
+      oss << ", no pending wake";
+    } else {
+      oss << ", next pending wake @" << pending;
+    }
+    oss << "\n";
+  }
+  return oss.str();
 }
 
 void Engine::throw_hang(Cycle max_cycles, const char* phase) const {
@@ -143,7 +190,90 @@ void Engine::throw_hang(Cycle max_cycles, const char* phase) const {
     oss << "\n--- hang diagnostic (cycle " << now_ << ") ---\n"
         << hang_reporter_();
   }
+  if (mode_ == EngineMode::kEventDriven) {
+    // A hang in event mode is often a missed wake: some component slept
+    // and nothing ever re-armed it. List every dormant slot with its
+    // wall-state so a post-restore (or missed-wake) hang names the
+    // culprit instead of only showing the live components.
+    const std::string dormant = dormancy_report();
+    if (!dormant.empty()) {
+      oss << "dormant components (last-wake cycles):\n" << dormant;
+    }
+  }
   throw SimError(oss.str());
+}
+
+void Engine::save(ckpt::ArchiveWriter& a) const {
+  GLOCKS_CHECK(!in_scan_, "engine save mid-cycle (inside a scan)");
+  a.u64(now_);
+  a.u8(static_cast<std::uint8_t>(mode_));
+  a.u64(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    a.b(slots_[i].active);
+    a.u64(slots_[i].last_tick);
+    a.u64(slots_[i].last_wake);
+    a.u64(slot_perf_[i].ticks);
+    a.u64(slot_perf_[i].wakes);
+  }
+  // The heap's array order depends on push/pop history; serialize the
+  // canonical sorted form (which is itself a valid min-heap layout).
+  std::vector<Wake> sorted = wakes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Wake& x, const Wake& y) {
+              return x.at != y.at ? x.at < y.at : x.slot < y.slot;
+            });
+  a.u64(sorted.size());
+  for (const Wake& w : sorted) {
+    a.u64(w.at);
+    a.u32(w.slot);
+  }
+  a.u64(perf_.ticks_executed);
+  a.u64(perf_.ticks_skipped);
+  a.u64(perf_.cycles_stepped);
+  a.u64(perf_.cycles_skipped);
+  // clock_jumps is deliberately not serialized: pausing for a checkpoint
+  // splits one idle jump into two, so the count depends on pause history
+  // while every other counter — and all machine state — does not. The
+  // restore verifier byte-compares a replayed machine's archive against
+  // this one, so only pause-invariant fields may land here (total
+  // cycles_skipped is invariant; only the event count is not).
+  a.u64(perf_.wakes_scheduled);
+}
+
+void Engine::load(ckpt::ArchiveReader& a) {
+  now_ = a.u64();
+  const auto mode = static_cast<EngineMode>(a.u8());
+  GLOCKS_CHECK(mode == mode_,
+               "checkpoint engine mode does not match this engine");
+  const std::uint64_t n = a.u64();
+  GLOCKS_CHECK(n == slots_.size(),
+               "checkpoint slot count " << n << " != registered "
+                                        << slots_.size());
+  num_active_ = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].active = a.b();
+    if (slots_[i].active) ++num_active_;
+    slots_[i].last_tick = a.u64();
+    slots_[i].last_wake = a.u64();
+    slot_perf_[i].ticks = a.u64();
+    slot_perf_[i].wakes = a.u64();
+  }
+  wakes_.clear();
+  const std::uint64_t nw = a.u64();
+  wakes_.reserve(nw);
+  for (std::uint64_t i = 0; i < nw; ++i) {
+    const Cycle at = a.u64();
+    const std::uint32_t slot = a.u32();
+    GLOCKS_CHECK(slot < slots_.size(), "wake for out-of-range slot");
+    // Sorted ascending on (at, slot) is a valid min-heap layout as-is.
+    wakes_.push_back(Wake{at, slot});
+  }
+  perf_.ticks_executed = a.u64();
+  perf_.ticks_skipped = a.u64();
+  perf_.cycles_stepped = a.u64();
+  perf_.cycles_skipped = a.u64();
+  // clock_jumps keeps its current value (see save()).
+  perf_.wakes_scheduled = a.u64();
 }
 
 }  // namespace glocks::sim

@@ -35,6 +35,11 @@
 
 #include "common/types.hpp"
 
+namespace glocks::ckpt {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace glocks::ckpt
+
 namespace glocks::sim {
 
 class Engine;
@@ -129,6 +134,15 @@ class Engine {
   Cycle run_until(const std::function<bool()>& done, Cycle max_cycles,
                   const char* phase = nullptr);
 
+  /// run_until, but additionally returns (without error) as soon as the
+  /// clock reaches `pause_at` — the checkpoint layer's hook. Pausing is
+  /// observationally pure: the check happens between cycles, and a clock
+  /// jump that would overshoot the pause point is split at it (a pure
+  /// clock move, so the resumed jump lands on the same wake either way).
+  Cycle run_until_or_pause(const std::function<bool()>& done,
+                           Cycle max_cycles, Cycle pause_at,
+                           const char* phase = nullptr);
+
   /// Installs a callback that renders the machine state (per-core waits,
   /// lock registers, controller flags, token positions) into the
   /// SimError thrown on a cycle-limit hit, turning a bare abort into a
@@ -140,12 +154,23 @@ class Engine {
   const EnginePerf& perf() const { return perf_; }
   const std::vector<SlotPerf>& slot_perf() const { return slot_perf_; }
 
+  /// Serializes the kernel state — clock, per-slot active flags and
+  /// last-tick/last-wake cycles, the pending-wake queue (canonically
+  /// sorted), and the perf counters — as one archive-section payload.
+  /// Components themselves are not owned here; they save separately.
+  void save(ckpt::ArchiveWriter& a) const;
+  /// Inverse of save(); the same components must already be registered
+  /// (load restores scheduling state, not the component roster).
+  void load(ckpt::ArchiveReader& a);
+
  private:
   friend class Component;
 
   struct Slot {
     Component* c;
     bool active;
+    Cycle last_tick = kNoCycle;  ///< cycle of this slot's latest tick()
+    Cycle last_wake = kNoCycle;  ///< latest wake cycle accepted for it
   };
   /// A pending wake: activate slot `slot` once the clock reaches `at`.
   /// Stored as a min-heap on (at, slot); duplicates are allowed and
@@ -160,6 +185,13 @@ class Engine {
 
   void schedule(std::uint32_t slot, Cycle at);
   void activate_due();
+  Cycle run_loop(const std::function<bool()>& done, Cycle max_cycles,
+                 Cycle pause_at, const char* phase);
+  /// The dormant-component appendix of the hang diagnostic: every
+  /// inactive slot with its last tick, last accepted wake, and earliest
+  /// still-pending wake — so a machine that hangs after a restore (or a
+  /// missed-wake bug) names the component that went to sleep forever.
+  std::string dormancy_report() const;
   [[noreturn]] void throw_hang(Cycle max_cycles, const char* phase) const;
 
   EngineMode mode_;

@@ -22,6 +22,15 @@
 //   --perf                print an aggregate simulator-throughput summary
 //                         (all runs folded) to stderr; the CSV on stdout
 //                         is unchanged.
+//   --manifest FILE       sweep-resume checkpoint. Completed grid points
+//                         are appended to FILE as they finish; rerunning
+//                         the same command after a kill emits the
+//                         already-finished rows from FILE and runs only
+//                         the missing points — the CSV on stdout stays
+//                         byte-identical to an uninterrupted sweep. FILE
+//                         is keyed on the sweep spec (jobs excluded):
+//                         reusing it with a different grid is a
+//                         structured spec-mismatch error.
 //
 // Output: the report CSV header plus one row per
 // (workload, lock, cores, seed), with `cores` and `seed` columns
@@ -32,10 +41,12 @@
 // value (tests/determinism_test.cpp holds us to that).
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ckpt/manifest.hpp"
 #include "exec/job_pool.hpp"
 #include "exec/sweep.hpp"
 #include "fault/fault.hpp"
@@ -110,12 +121,24 @@ int main(int argc, char** argv) {
       spec.fault = fault::parse_fault_spec(args.get("faults"));
     }
 
+    std::unique_ptr<ckpt::SweepManifest> manifest;
+    if (args.has("manifest")) {
+      manifest = std::make_unique<ckpt::SweepManifest>(
+          args.get("manifest"), exec::sweep_signature(spec));
+      if (!manifest->completed().empty()) {
+        std::fprintf(stderr,
+                     "glocks-sweep: resuming, %zu of %zu grid points "
+                     "already in the manifest\n",
+                     manifest->completed().size(), exec::sweep_size(spec));
+      }
+    }
+
     if (args.has("perf")) {
       perf::SimPerf agg;
-      exec::run_sweep(spec, std::cout, &agg);
+      exec::run_sweep(spec, std::cout, &agg, manifest.get());
       std::cerr << agg.summary();
     } else {
-      exec::run_sweep(spec, std::cout);
+      exec::run_sweep(spec, std::cout, nullptr, manifest.get());
     }
     return 0;
   } catch (const std::exception& e) {

@@ -31,12 +31,25 @@
 //   --perf               print a simulator-throughput summary (wall time,
 //                        Mcycles/s, kernel tick/skip counters) to stderr;
 //                        stdout output is unchanged
+//   --checkpoint-every N write a checkpoint of the full simulator state
+//                        every N cycles (see docs/checkpoint_format.md).
+//                        Incompatible with --replay (trace replays are
+//                        not in the registry, so a checkpoint could not
+//                        name its workload) and with --trace.
+//   --checkpoint-dir D   directory checkpoint files land in         [.]
+//   --restore FILE       resume the run saved in FILE: replay to the
+//                        checkpoint cycle, byte-verify the machine
+//                        against the archive, then run to completion.
+//                        The run's spec comes from FILE — no --workload
+//                        or machine flags. Output (text/CSV/JSON) is
+//                        bit-identical to the uninterrupted run's.
 //   --list               list available workloads and lock kinds
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <iostream>
 
+#include "ckpt/checkpoint.hpp"
 #include "fault/fault.hpp"
 #include "harness/auto_policy.hpp"
 #include "harness/report.hpp"
@@ -71,6 +84,28 @@ int main(int argc, char** argv) {
     const tools::Args args(argc, argv,
                            {"auto-assign", "csv", "json", "list", "perf"});
     if (args.has("list") || argc == 1) return list_everything();
+
+    if (args.has("restore")) {
+      GLOCKS_CHECK(!args.has("workload") && !args.has("replay") &&
+                       !args.has("checkpoint-every") && !args.has("trace"),
+                   "--restore takes the run's spec from the checkpoint "
+                   "file; drop --workload/--replay/--checkpoint-every/"
+                   "--trace");
+      const std::string path = args.get("restore");
+      const auto meta = ckpt::read_checkpoint_meta(path);
+      const auto result = ckpt::restore_and_run(path);
+      if (args.has("csv")) {
+        harness::write_csv_header(std::cout, meta.spec.cmp.fault.enabled);
+        harness::write_csv_row(result, std::cout,
+                               meta.spec.cmp.fault.enabled);
+      } else if (args.has("json")) {
+        harness::write_json(result, std::cout);
+      } else {
+        std::cout << harness::summary_text(result);
+      }
+      if (args.has("perf")) std::cerr << result.perf.summary();
+      return 0;
+    }
 
     const std::string name = args.get("workload");
     const std::string replay_file = args.get("replay");
@@ -142,8 +177,33 @@ int main(int argc, char** argv) {
     trace::Tracer tracer;
     if (args.has("trace")) cfg.tracer = &tracer;
 
-    auto wl = factory(scale);
-    const auto result = harness::run_workload(*wl, cfg);
+    harness::RunResult result;
+    if (args.has("checkpoint-every")) {
+      GLOCKS_CHECK(replay_file.empty(),
+                   "--checkpoint-every cannot checkpoint a --replay run: "
+                   "trace replays are not registry workloads, so a "
+                   "restore could not rebuild them");
+      GLOCKS_CHECK(!args.has("trace"),
+                   "--checkpoint-every and --trace are mutually exclusive");
+      const Cycle every = args.get_u64("checkpoint-every", 0);
+      GLOCKS_CHECK(every > 0,
+                   "--checkpoint-every needs a positive cycle count");
+      ckpt::RunSpec spec;
+      spec.workload = name;
+      spec.scale = scale;
+      spec.seed = cfg.seed;
+      spec.cmp = cfg.cmp;
+      spec.policy = cfg.policy;  // post --auto-assign: already resolved
+      spec.energy = cfg.energy;
+      std::vector<std::string> written;
+      result = ckpt::run_with_checkpoints(
+          spec, ckpt::periodic_pauses(every, cfg.cmp.max_cycles),
+          args.get("checkpoint-dir", "."), &written);
+      std::fprintf(stderr, "checkpoints: %zu written\n", written.size());
+    } else {
+      auto wl = factory(scale);
+      result = harness::run_workload(*wl, cfg);
+    }
 
     if (args.has("trace")) {
       std::ofstream out(args.get("trace"));

@@ -52,6 +52,36 @@ TEST(Engine, ThrowsOnCycleLimit) {
   EXPECT_THROW(e.run_until([] { return false; }, 100), SimError);
 }
 
+TEST(Engine, HangDiagnosticListsDormantComponents) {
+  // Regression: a hang in event mode must name the DORMANT components
+  // with their last-wake cycles, not only the live ones — a missed wake
+  // (some component slept and nothing re-armed it) is the classic
+  // event-kernel bug, and the sleeper is exactly what the old report
+  // omitted.
+  struct OneShotSleeper final : Component {
+    void tick(Cycle now) override { sleep_until(now + 3); }
+  };
+  struct Spinner final : Component {
+    void tick(Cycle) override {}
+  };
+  Engine e;
+  OneShotSleeper sleeper;
+  Spinner spinner;
+  e.add(sleeper, "the-sleeper");
+  e.add(spinner, "the-spinner");
+  try {
+    e.run_until([] { return false; }, 50);
+    FAIL() << "expected the cycle-limit hang";
+  } catch (const SimError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("dormant components"), std::string::npos) << what;
+    EXPECT_NE(what.find("the-sleeper"), std::string::npos) << what;
+    EXPECT_NE(what.find("last wake scheduled"), std::string::npos) << what;
+    // The live component is not in the dormant list's terms.
+    EXPECT_NE(what.find("deadlock or runaway"), std::string::npos) << what;
+  }
+}
+
 TEST(Engine, ComponentSeesMonotonicCycles) {
   struct CycleChecker final : Component {
     Cycle last = kNoCycle;

@@ -11,9 +11,12 @@
 // enough to be quick) under ThreadSanitizer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "ckpt/archive.hpp"
 #include "common/rng.hpp"
 #include "exec/job_pool.hpp"
 #include "harness/cmp_system.hpp"
@@ -83,9 +86,18 @@ struct SoakOutcome {
   std::vector<Word> expected;
   std::vector<Word> observed;           ///< coherent counter values
   std::vector<std::uint64_t> acquires;  ///< per-lock census
+  std::uint64_t pool_heap_allocs = 0;   ///< message-pool slab mallocs
+  std::uint64_t pool_heap_bytes = 0;
 };
 
-SoakOutcome run_soak(std::uint64_t seed, std::uint32_t cores) {
+/// With `churn_at`, the run pauses at each listed cycle and serializes
+/// the whole machine (the checkpoint layer's save path); each archive
+/// lands in `saves`. Serialization is read-only, so the outcome must be
+/// bit-identical to a plain run — the churn test below holds us to that.
+SoakOutcome run_soak(std::uint64_t seed, std::uint32_t cores,
+                     const std::vector<Cycle>* churn_at = nullptr,
+                     std::vector<std::vector<std::uint8_t>>* saves =
+                         nullptr) {
   CmpConfig cfg;
   cfg.num_cores = cores;
   cfg.l1.size_bytes = 2 * 1024;        // brutal: constant evictions
@@ -148,9 +160,19 @@ SoakOutcome run_soak(std::uint64_t seed, std::uint32_t cores) {
   }
 
   SoakOutcome out;
-  out.cycles = sys.run();
+  if (churn_at != nullptr) {
+    out.cycles = sys.run(*churn_at, [&](Cycle) {
+      ckpt::ArchiveWriter w;
+      sys.save_state(w);
+      if (saves != nullptr) saves->push_back(w.buffer());
+    });
+  } else {
+    out.cycles = sys.run();
+  }
   out.violations = world.violations;
   out.quiescent = sys.hierarchy().quiescent();
+  out.pool_heap_allocs = sys.hierarchy().msg_pool_stats().heap_allocs;
+  out.pool_heap_bytes = sys.hierarchy().msg_pool_stats().heap_bytes;
   out.expected = world.expected;
   for (std::size_t i = 0; i < world.locks.size(); ++i) {
     out.lock_kinds.emplace_back(world.locks[i]->kind_name());
@@ -221,6 +243,50 @@ TEST(SoakPool, ConcurrentSoaksMatchSerialBitForBit) {
         << ": a pool thread changed simulated time";
     EXPECT_EQ(pooled[i].observed, serial[i].observed);
     EXPECT_EQ(pooled[i].acquires, serial[i].acquires);
+  }
+}
+
+// Checkpoint churn: serializing the entire machine every few dozen
+// cycles of a mixed-fabric soak must be invisible. Three properties
+// hold it together: the churned run's outcome (cycles, counters,
+// acquires) matches the untouched run bit for bit; the message-pool
+// slab accounting is unchanged, so the save path neither acquires
+// pooled messages nor perturbs warmup; and the archive written at each
+// pause is byte-identical across two churned runs — serialized state
+// does not drift between deterministic replicas.
+TEST(SoakCkptChurn, PeriodicSaveStateIsInvisibleAndByteStable) {
+  const std::uint64_t seed = 9;
+  const std::uint32_t cores = 12;
+  const SoakOutcome plain = run_soak(seed, cores);
+
+  std::vector<Cycle> pauses;
+  const Cycle every = std::max<Cycle>(plain.cycles / 32, 1);
+  for (Cycle at = every; at < plain.cycles; at += every) {
+    pauses.push_back(at);
+  }
+  ASSERT_GE(pauses.size(), 8u) << "run too short to churn meaningfully";
+
+  std::vector<std::vector<std::uint8_t>> saves_a, saves_b;
+  const SoakOutcome churn_a = run_soak(seed, cores, &pauses, &saves_a);
+  const SoakOutcome churn_b = run_soak(seed, cores, &pauses, &saves_b);
+
+  expect_clean(churn_a);
+  EXPECT_EQ(churn_a.cycles, plain.cycles)
+      << "checkpoint pauses changed simulated time";
+  EXPECT_EQ(churn_a.observed, plain.observed);
+  EXPECT_EQ(churn_a.acquires, plain.acquires);
+  EXPECT_EQ(churn_a.pool_heap_allocs, plain.pool_heap_allocs)
+      << "save_state grew the message pool";
+  EXPECT_EQ(churn_a.pool_heap_bytes, plain.pool_heap_bytes);
+
+  // Every pause before the finish cycle fires (none silently skipped),
+  // and the two churned runs saw identical machine bytes at each one.
+  EXPECT_EQ(saves_a.size(), pauses.size());
+  ASSERT_EQ(saves_a.size(), saves_b.size());
+  for (std::size_t i = 0; i < saves_a.size(); ++i) {
+    EXPECT_TRUE(saves_a[i] == saves_b[i])
+        << "archive at pause " << i << " (cycle " << pauses[i]
+        << ") drifted between identical runs";
   }
 }
 
