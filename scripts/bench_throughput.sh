@@ -14,10 +14,18 @@
 #      quietly turns the event kernel back into tick-everything,
 #   3. the express-route hit rate is at least MIN_XHIT (default: half
 #      the committed baseline's) — catches a conflict-check change that
-#      silently declines everything and falls back to hop-by-hop.
+#      silently declines everything and falls back to hop-by-hop,
+#   4. when the host has >= 4 hardware threads: the 4-shard run of the
+#      big machine is at least MIN_SHARD_SPEEDUP (default 1.25x, an
+#      absolute floor — hosted runners are too variable for a
+#      baseline-relative one) faster than the serial scan, and sharded
+#      results stayed bit-identical ("shard_identical": true). On
+#      smaller hosts the speedup check is skipped (the workers would
+#      just time-slice one core) but identity is still enforced.
 #
 # Usage: scripts/bench_throughput.sh [build-dir] [scale]
-#        MIN_SPEEDUP=1.5 MIN_XHIT=0.3 scripts/bench_throughput.sh build 0.25
+#        MIN_SPEEDUP=1.5 MIN_XHIT=0.3 MIN_SHARD_SPEEDUP=1.25 \
+#            scripts/bench_throughput.sh build 0.25
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +38,10 @@ if [[ ! -x "$BUILD_DIR/bench/sim_throughput" ]]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target sim_throughput
 fi
 
-"$BUILD_DIR/bench/sim_throughput" --scale "$SCALE" --out "$OUT"
+# The smoke shrinks the shard section too: 64 simulated cores is still
+# plenty of tiles per worker, and keeps the smoke fast on one runner.
+"$BUILD_DIR/bench/sim_throughput" --scale "$SCALE" --out "$OUT" \
+    --shard-cores 64 --shard-scale "$SCALE"
 
 json_field() {  # json_field FILE KEY -> scalar value
   sed -n "s/^ *\"$2\": \([^,]*\),*$/\1/p" "$1" | head -1
@@ -65,5 +76,27 @@ fi
 if ! awk -v x="$xhit" -v m="$min_xhit" 'BEGIN { exit !(x >= m) }'; then
   echo "FAIL: express hit rate ${xhit} below the ${min_xhit} floor" >&2
   exit 1
+fi
+
+shard_identical="$(json_field "$OUT" shard_identical)"
+shard_speedup="$(json_field "$OUT" shard_speedup_4)"
+host_threads="$(json_field "$OUT" host_threads)"
+min_shard="${MIN_SHARD_SPEEDUP:-1.25}"
+if [[ "$shard_identical" != "true" ]]; then
+  echo "FAIL: sharded runs diverged from the serial scan" >&2
+  exit 1
+fi
+if [[ "$host_threads" -ge 4 ]]; then
+  echo "shard-smoke: shard_speedup_4=${shard_speedup}x" \
+       "(floor ${min_shard}x, host threads ${host_threads})"
+  if ! awk -v s="$shard_speedup" -v m="$min_shard" \
+        'BEGIN { exit !(s >= m) }'; then
+    echo "FAIL: 4-shard speedup ${shard_speedup}x below the" \
+         "${min_shard}x floor" >&2
+    exit 1
+  fi
+else
+  echo "shard-smoke: host has ${host_threads} thread(s) — speedup check" \
+       "skipped (identity still enforced)"
 fi
 echo "perf-smoke passed."

@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# ThreadSanitizer gate for the run-level parallelism subsystem.
+# ThreadSanitizer gate for both layers of host parallelism.
 #
-# The simulator itself is single-threaded per run (one Engine, fixed tick
-# order); threads only exist in src/exec, which fans independent runs out
-# across workers. This script builds the suites that exercise those
-# threads under -DGLOCKS_SANITIZE=thread and runs them:
+# Two distinct thread populations exist in the simulator. src/exec fans
+# independent runs out across pool workers; src/sim/shard.cpp shards ONE
+# machine across workers in lockstep (the mesh staging buffers, pool
+# spinlock, and atomic counters all exist for that). This script builds
+# the suites that exercise both under -DGLOCKS_SANITIZE=thread and runs
+# them twice — once serial-machine (the historical gate) and once with
+# GLOCKS_SHARDS=4 so every determinism/soak workload drives the sharded
+# engine under the race detector:
 #
-#   exec_pool_test    pool/queue/emitter semantics
-#   determinism_test  parallel sweeps byte-identical to serial, and the
-#                     sweep-resume manifest recording from pool threads
-#   soak_test         whole machines running concurrently on pool threads
-#                     (including the checkpoint-churn soak)
-#   ckpt_test         archive/manifest units
-#   ckpt_equivalence_test  checkpoint/restore round trips
+#   exec_pool_test          pool/queue/emitter semantics
+#   determinism_test        parallel sweeps byte-identical to serial, and
+#                           the sweep-resume manifest from pool threads
+#   soak_test               whole machines running concurrently on pool
+#                           threads (checkpoint churn + shard re-shard
+#                           churn)
+#   ckpt_test               archive/manifest units
+#   ckpt_equivalence_test   checkpoint/restore round trips
+#   shard_equivalence_test  every workload x {1,2,4,8} shards bit-equal,
+#                           cross-shard checkpoint restores
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -24,7 +31,15 @@ cmake -B "$BUILD_DIR" -S . -DGLOCKS_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
       --target exec_pool_test determinism_test soak_test \
-               ckpt_test ckpt_equivalence_test
-ctest --test-dir "$BUILD_DIR" --output-on-failure \
-      -R '^(exec_pool_test|determinism_test|soak_test|ckpt_test|ckpt_equivalence_test)$'
+               ckpt_test ckpt_equivalence_test shard_equivalence_test
+# --timeout: the shard-equivalence suite runs every workload at several
+# shard counts; under TSan on a slow host that legitimately exceeds
+# ctest's default 1500 s budget.
+ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
+      -R '^(exec_pool_test|determinism_test|soak_test|ckpt_test|ckpt_equivalence_test|shard_equivalence_test)$'
+# Second pass: the same machines sharded 4 ways. The suites' assertions
+# are shard-agnostic (results are bit-identical by contract), so any new
+# failure here is either a data race TSan caught or a broken contract.
+GLOCKS_SHARDS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
+      -R '^(determinism_test|soak_test)$'
 echo "TSan check passed."

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,13 @@ harness::RunResult run_with_checkpoints(
 /// finishes before ever reaching the checkpoint cycle), then continues
 /// to completion. The result is bit-identical to an uninterrupted run of
 /// the same spec (tests/ckpt_equivalence_test.cpp).
-harness::RunResult restore_and_run(const std::string& path);
+///
+/// The replay itself always runs at the checkpoint's recorded shard
+/// count (the archive bytes depend on it through the express-route
+/// counters); `shards`, when set, takes effect only after the replayed
+/// machine has been byte-verified — the tail then runs sharded, with a
+/// bit-identical result (tests/shard_equivalence_test.cpp).
+harness::RunResult restore_and_run(const std::string& path,
+                                   std::optional<std::uint32_t> shards = {});
 
 }  // namespace glocks::ckpt

@@ -148,6 +148,13 @@ struct CmpConfig {
   /// determinism suite compares against. Results are bit-identical.
   EngineMode engine_mode = EngineMode::kEventDriven;
 
+  /// Host threads the machine's tiles are sharded across (1 = the
+  /// plain serial scan). Like engine_mode this is an execution
+  /// strategy, not a model parameter: results are bit-identical for
+  /// every value (tests/shard_equivalence_test.cpp). Clamped to
+  /// num_cores by CmpSystem.
+  std::uint32_t num_shards = 1;
+
   /// Budget for the post-run drain phase (flushing in-flight coherence
   /// traffic and letting the G-line network settle). 0 means "derive
   /// from the machine geometry" — see effective_drain_budget().

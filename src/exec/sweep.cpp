@@ -108,6 +108,7 @@ void run_sweep(const SweepSpec& spec, std::ostream& os,
     const GridPoint& p = grid[i];
     harness::RunConfig cfg;
     cfg.cmp.num_cores = p.cores;
+    cfg.cmp.num_shards = spec.num_shards;
     cfg.policy.highly_contended = p.kind;
     cfg.seed = p.seed;
     if (spec.fault.enabled) {

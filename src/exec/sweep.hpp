@@ -25,6 +25,11 @@ struct SweepSpec {
   std::vector<std::uint64_t> seeds = {1};
   double scale = 1.0;
   unsigned jobs = 1;  ///< worker threads; 1 = strictly serial
+  /// Shards each grid point's machine runs on (--shards). Like `jobs`
+  /// this is pure execution strategy — rows are bit-identical for every
+  /// value — so it is likewise excluded from sweep_signature() and a
+  /// manifest-resumed sweep may change it freely.
+  std::uint32_t num_shards = 1;
   /// Fault-injection plan applied to every grid point (--faults). When
   /// enabled, each point derives its own injector seed from (fault.seed,
   /// workload seed), the CSV gains the fault columns, and the guarded

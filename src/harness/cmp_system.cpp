@@ -1,5 +1,6 @@
 #include "harness/cmp_system.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -58,13 +59,77 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
     c->set_finish_listener([this] { ++finished_count_; });
   }
   engine_.set_hang_reporter([this] { return hang_report(); });
+  set_shards(cfg_.num_shards);
+}
+
+void CmpSystem::set_shards(std::uint32_t n) {
+  const std::uint32_t shards = std::min(std::max<std::uint32_t>(n, 1),
+                                        cfg_.num_cores);
+  if (shards <= 1) {
+    engine_.set_shard_plan({});
+    mesh_.set_sharding(1, {});
+    hierarchy_.msg_pool().set_concurrent(false);
+    return;
+  }
+  install_shard_plan(shards);
+}
+
+void CmpSystem::install_shard_plan(std::uint32_t shards) {
+  // Slot layout (fixed by the constructor above and the hierarchy):
+  // dirs [0, N), sbs [N, 2N), qolbs [2N, 3N), l1s [3N, 4N), mesh 4N,
+  // cores [4N+1, 5N+1), glines 5N+1, census 5N+2. Tile t's components
+  // and core all live in one shard (contiguous bands); the mesh is the
+  // coordinator (the one component spanning every tile); the G-line
+  // network and census resolve at the epoch boundary — which is what
+  // keeps the fault injector's pure-hash-of-(seed,wire,cycle) contract
+  // intact with no code changes there.
+  const std::uint32_t n = cfg_.num_cores;
+  const std::size_t expected = 5ull * n + 3;
+  GLOCKS_CHECK(engine_.num_slots() == expected,
+               "shard plan layout drifted: " << engine_.num_slots()
+                                             << " slots, expected "
+                                             << expected);
+  sim::ShardPlan plan;
+  plan.num_shards = shards;
+  plan.owner.assign(engine_.num_slots(), sim::ShardPlan::kSequential);
+  for (CoreId t = 0; t < n; ++t) {
+    const std::uint32_t s = shard_of_core(t, shards);
+    plan.owner[t] = s;           // dir
+    plan.owner[n + t] = s;       // sb
+    plan.owner[2ull * n + t] = s;  // qolb
+    plan.owner[3ull * n + t] = s;  // l1
+    plan.owner[4ull * n + 1 + t] = s;  // core
+  }
+  plan.owner[4ull * n] = sim::ShardPlan::kCoordinator;  // mesh
+  // glines (5N+1) and census (5N+2) stay kSequential.
+
+  std::vector<std::uint32_t> tile_shard(cfg_.mesh_tiles());
+  for (std::uint32_t t = 0; t < tile_shard.size(); ++t) {
+    tile_shard[t] = shard_of_core(std::min<CoreId>(t, n - 1), shards);
+  }
+  mesh_.set_sharding(shards, std::move(tile_shard));
+  hierarchy_.msg_pool().set_concurrent(true);
+
+  sim::ShardHooks hooks;
+  hooks.pre_coordinator = [this] { mesh_.flush_staged(); };
+  hooks.post_waves = [this] { mesh_.flush_staged(); };
+  engine_.set_shard_plan(std::move(plan), std::move(hooks));
 }
 
 std::string CmpSystem::hang_report() const {
   std::ostringstream oss;
+  const std::uint32_t shards = engine_.num_shards();
+  if (shards > 1) {
+    oss << "sharded: " << shards << " shards, epoch "
+        << engine_.shard_epoch() << ", barrier clock @" << engine_.now()
+        << "\n";
+  }
   oss << "cores (wait-state, lock registers):\n";
   for (const auto& c : cores_) {
     oss << "  core " << c->id() << ": ";
+    if (shards > 1) {
+      oss << "[shard " << shard_of_core(c->id(), shards) << "] ";
+    }
     if (c->finished()) {
       oss << "finished\n";
       continue;
@@ -91,6 +156,9 @@ std::string CmpSystem::hang_report() const {
 }
 
 void CmpSystem::attach_tracer(trace::Tracer& tracer) {
+  GLOCKS_CHECK(engine_.num_shards() <= 1,
+               "tracing requires --shards 1: trace events are appended "
+               "from core ticks, which run on shard workers");
   for (auto& c : cores_) {
     c->context().tracer = &tracer;
     c->context().engine = &engine_;

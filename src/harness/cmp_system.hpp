@@ -3,6 +3,8 @@
 // order the timing model expects.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -35,6 +37,21 @@ class CmpSystem {
   mem::SimAllocator& heap() { return heap_; }
   core::Core& core(CoreId c) { return *cores_[c]; }
   std::uint32_t num_cores() const { return cfg_.num_cores; }
+
+  /// Shards this machine currently runs on (1 = plain serial scan).
+  std::uint32_t shards() const { return engine_.num_shards(); }
+  /// Re-shards the live machine between cycles: `n` is clamped to the
+  /// core count, n <= 1 returns to the serial scan. Simulation results
+  /// are bit-identical for every value — sharding is an execution
+  /// strategy, not a model parameter (the shard-equivalence suite holds
+  /// us to that). The restore path uses this to hand a checkpoint
+  /// replayed at its recorded shard count over to the requested one.
+  void set_shards(std::uint32_t n);
+  /// Shard owning core `c` (contiguous tile bands) under `shards`.
+  std::uint32_t shard_of_core(CoreId c, std::uint32_t shards) const {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(c) * shards / cfg_.num_cores);
+  }
 
   /// Attaches an event tracer to every bound thread. Call after the
   /// threads are bound and before run().
@@ -75,6 +92,8 @@ class CmpSystem {
   std::string hang_report() const;
 
  private:
+  void install_shard_plan(std::uint32_t shards);
+
   CmpConfig cfg_;
   sim::Engine engine_{cfg_.engine_mode};
   noc::Mesh mesh_;
@@ -84,8 +103,10 @@ class CmpSystem {
   locks::ContentionCensus census_;
   mem::SimAllocator heap_;
   /// Cores whose finish listener has fired; run() terminates on this
-  /// counter instead of scanning every core between cycles.
-  std::uint32_t finished_count_ = 0;
+  /// counter instead of scanning every core between cycles. Atomic:
+  /// under sharded execution the listener fires from shard workers; the
+  /// run loop reads it between cycles with every worker parked.
+  std::atomic<std::uint32_t> finished_count_{0};
 };
 
 }  // namespace glocks::harness

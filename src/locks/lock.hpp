@@ -8,6 +8,7 @@
 // requester count maintained in the acquire wrapper.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,7 +23,12 @@ namespace glocks::locks {
 
 struct LockStats {
   std::string name;                     ///< for reports ("L1", "task-q"...)
-  std::uint32_t current_requesters = 0; ///< sampled by ContentionCensus
+  /// Sampled by ContentionCensus. Atomic (relaxed) because under sharded
+  /// execution cores on different shard workers enter/leave the acquire
+  /// wrapper within one wave; the census itself samples at the epoch
+  /// boundary with every worker parked, so the *value* it reads is
+  /// deterministic — the atomic only keeps the concurrent ++/-- exact.
+  std::atomic<std::uint32_t> current_requesters{0};
   std::uint64_t acquires = 0;
   std::uint64_t releases = 0;
   /// Per-thread acquire counts (grown on demand); feeds the fairness

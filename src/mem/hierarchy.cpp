@@ -224,12 +224,14 @@ void Hierarchy::save(ckpt::ArchiveWriter& a) const {
   for (const auto& d : dirs_) d->save(a);
   for (const auto& sb : sbs_) sb->save(a);
   for (const auto& q : qolbs_) q->save(a);
+  // Only the *logical* pool counters reach the archive. The physical
+  // ones (heap_allocs / heap_bytes / reuses / high_water) describe the
+  // host allocator, not the simulated machine, and under sharded
+  // execution they depend on how worker threads interleaved on the
+  // free-list spinlock — serializing them would make checkpoint bytes
+  // shard-count-dependent and break the equivalence contract.
   const CohMsgPool::Stats& ps = msg_pool_.stats();
-  a.u64(ps.heap_allocs);
-  a.u64(ps.heap_bytes);
   a.u64(ps.acquires);
-  a.u64(ps.reuses);
-  a.u64(ps.high_water);
   a.u64(ps.outstanding);
 }
 
@@ -241,13 +243,11 @@ void Hierarchy::load(ckpt::ArchiveReader& a) {
   for (const auto& q : qolbs_) q->load(a);
   // Written/read last on purpose: reloading the components above (and a
   // mesh loaded earlier) re-acquires payload nodes, which perturbs the
-  // live counters; the archived values overwrite that noise.
-  CohMsgPool::Stats ps;
-  ps.heap_allocs = a.u64();
-  ps.heap_bytes = a.u64();
+  // live logical counters; the archived values overwrite that noise.
+  // Physical counters stay live — they belong to *this* host process's
+  // slabs, not to the checkpointed machine (see save()).
+  CohMsgPool::Stats ps = msg_pool_.stats();
   ps.acquires = a.u64();
-  ps.reuses = a.u64();
-  ps.high_water = a.u64();
   ps.outstanding = a.u64();
   msg_pool_.set_stats(ps);
 }

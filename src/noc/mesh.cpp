@@ -53,6 +53,19 @@ void Mesh::send(Packet&& p, Cycle now) {
   GLOCKS_CHECK(p.src != p.dst,
                "same-tile messages must bypass the mesh (tile " << p.src
                                                                 << ")");
+  if (num_shards_ > 1) {
+    if (const sim::WorkerScope* ws = sim::Engine::current_worker()) {
+      // A shard worker may not touch the fabric: stage the send for the
+      // barrier flush. The per-shard buffer stays in ascending
+      // sender-slot order because each worker ticks its slots in order.
+      staged_[ws->shard].push_back(Staged{ws->slot, std::move(p), now});
+      return;
+    }
+  }
+  send_now(std::move(p), now);
+}
+
+void Mesh::send_now(Packet&& p, Cycle now) {
 #ifndef NDEBUG
   // Pooled payload nodes are reused, but a Packet's identity is its seq,
   // stamped fresh for every injection — tracing stays unambiguous as
@@ -80,6 +93,51 @@ void Mesh::send(CoreId src, CoreId dst, MsgClass cls,
   p.payload = payload;
   p.kind = kind;
   send(std::move(p), now);
+}
+
+void Mesh::set_sharding(std::uint32_t num_shards,
+                        std::vector<std::uint32_t> tile_shard) {
+  for (const auto& buf : staged_) {
+    GLOCKS_CHECK(buf.empty(), "set_sharding with staged sends pending");
+  }
+  if (num_shards <= 1) {
+    num_shards_ = 1;
+    tile_shard_.clear();
+    staged_.clear();
+    return;
+  }
+  GLOCKS_CHECK(tile_shard.size() == nics_.size(),
+               "tile->shard map covers " << tile_shard.size() << " of "
+                                         << nics_.size() << " tiles");
+  num_shards_ = num_shards;
+  tile_shard_ = std::move(tile_shard);
+  staged_.assign(num_shards_, {});
+}
+
+void Mesh::flush_staged() {
+  // Replay in ascending global sender-slot order (k-way merge across the
+  // shard buffers; a sender slot lives in exactly one shard, so ties are
+  // impossible). This is the order the serial scan issues sends in, so
+  // seq stamping, express decisions, and NIC occupancy all match.
+  std::size_t remaining = 0;
+  for (const auto& buf : staged_) remaining += buf.size();
+  if (remaining == 0) return;
+  std::vector<std::size_t> idx(staged_.size(), 0);
+  while (remaining > 0) {
+    std::size_t best = staged_.size();
+    std::uint32_t best_sender = 0xFFFFFFFFu;
+    for (std::size_t s = 0; s < staged_.size(); ++s) {
+      if (idx[s] < staged_[s].size() &&
+          staged_[s][idx[s]].sender_slot < best_sender) {
+        best_sender = staged_[s][idx[s]].sender_slot;
+        best = s;
+      }
+    }
+    Staged& st = staged_[best][idx[best]++];
+    send_now(std::move(st.pkt), st.now);
+    --remaining;
+  }
+  for (auto& buf : staged_) buf.clear();
 }
 
 Cycle Mesh::next_tick_at(Cycle now) const {
@@ -179,6 +237,18 @@ bool Mesh::try_express(Packet& p, Cycle now) {
   // empty; the first send that cannot be proven conflict-free demotes
   // every flight and the fabric continues hop-by-hop.
   if (!fabric_empty()) {
+    ++xperf_.declined;
+    return false;
+  }
+  if (num_shards_ > 1 && tile_shard_[p.src] != tile_shard_[p.dst]) {
+    // Boundary rule: a route crossing a shard boundary inside the
+    // current horizon is never fast-forwarded — the flush already
+    // serialized the send, and declining keeps the analytic ledger from
+    // ever spanning shards. Materialize first to preserve the standing
+    // invariant that flights exist only over an empty fabric. Timing is
+    // unchanged (the hop-by-hop path is exact); only the express
+    // counters differ from a single-shard run.
+    materialize_all(now);
     ++xperf_.declined;
     return false;
   }
@@ -362,6 +432,12 @@ void Mesh::tick(Cycle now) {
 }
 
 void Mesh::save(ckpt::ArchiveWriter& a, const PayloadCodec& codec) const {
+  // Checkpoints are taken between cycles, after the barrier hooks ran —
+  // the staging buffers must be empty, so the archive format needs no
+  // shard-dependent sections.
+  for (const auto& buf : staged_) {
+    GLOCKS_CHECK(buf.empty(), "mesh save with staged sends pending");
+  }
   for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
     const auto cls = static_cast<MsgClass>(c);
     a.u64(stats_.bytes(cls));

@@ -82,6 +82,20 @@ class Mesh final : public sim::Component {
             Cycle now, void* payload = nullptr,
             PayloadKind kind = PayloadKind::kNone);
 
+  /// Sharded execution support. With `num_shards` > 1, a send() made
+  /// from a shard-wave worker thread is staged in a per-shard buffer
+  /// instead of entering the fabric; the engine's barrier hooks call
+  /// flush_staged() on the main thread, which replays every staged send
+  /// in ascending sender-slot order — the order the serial scan would
+  /// have issued them — so sequence numbers, express decisions, and
+  /// router arbitration are bit-identical to the single-thread kernel.
+  /// `tile_shard` maps each tile to its owning shard: express
+  /// fast-forwarding declines any route that crosses a shard boundary
+  /// (timing-neutral — the hop-by-hop path is always exact).
+  void set_sharding(std::uint32_t num_shards,
+                    std::vector<std::uint32_t> tile_shard);
+  void flush_staged();
+
   void tick(Cycle now) override;
 
   const TrafficStats& stats() const { return stats_; }
@@ -103,6 +117,13 @@ class Mesh final : public sim::Component {
   void load(ckpt::ArchiveReader& a, const PayloadCodec& codec);
 
  private:
+  /// One cross-thread send awaiting the barrier flush.
+  struct Staged {
+    std::uint32_t sender_slot;
+    Packet pkt;
+    Cycle now;
+  };
+
   struct Nic {
     /// Per-class outboxes, so a burst in one class cannot head-of-line
     /// block another class at the injection point.
@@ -120,6 +141,11 @@ class Mesh final : public sim::Component {
     Cycle arrival = 0;
     std::uint32_t hops = 0;  ///< Manhattan distance (route has hops+1 switches)
   };
+
+  /// The send path proper (seq assignment, express attempt, NIC outbox);
+  /// send() forwards here directly except for staged cross-thread sends,
+  /// which reach it via flush_staged().
+  void send_now(Packet&& p, Cycle now);
 
   /// The cycle at which a packet handed to the mesh "now" would be
   /// injected by the NIC drain: the mesh's next tick.
@@ -177,6 +203,12 @@ class Mesh final : public sim::Component {
   std::vector<Placement> placements_;
   std::vector<std::size_t> due_;
   std::vector<Flight> delivering_;
+  /// Sharded execution: per-shard staging buffers (each naturally in
+  /// ascending sender-slot order) and the tile -> shard map feeding the
+  /// express boundary rule. Inert while num_shards_ == 1.
+  std::uint32_t num_shards_ = 1;
+  std::vector<std::uint32_t> tile_shard_;
+  std::vector<std::vector<Staged>> staged_;
 };
 
 }  // namespace glocks::noc

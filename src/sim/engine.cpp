@@ -8,6 +8,15 @@
 
 namespace glocks::sim {
 
+namespace {
+/// Set while this thread is executing a shard wave; consulted by the
+/// wake/sleep paths so workers defer effects instead of touching shared
+/// engine state.
+thread_local WorkerScope* tls_worker = nullptr;
+}  // namespace
+
+const WorkerScope* Engine::current_worker() { return tls_worker; }
+
 void Component::wake_at(Cycle at) {
   if (engine_ != nullptr) engine_->schedule(slot_, at);
 }
@@ -20,6 +29,12 @@ Cycle Component::next_tick_cycle() const {
   GLOCKS_CHECK(engine_ != nullptr,
                "next_tick_cycle() on an unregistered component");
   const Engine& e = *engine_;
+  if (const WorkerScope* ws = tls_worker;
+      ws != nullptr && ws->engine == &e) {
+    // Inside a shard wave the scan cursor is this worker's current slot:
+    // everything at or before it has ticked this cycle.
+    return slot_ <= ws->slot ? e.now_ + 1 : e.now_;
+  }
   return (e.in_scan_ && slot_ <= e.scan_pos_) ? e.now_ + 1 : e.now_;
 }
 
@@ -27,10 +42,26 @@ void Component::sleep() {
   if (engine_ == nullptr || engine_->mode_ != EngineMode::kEventDriven) {
     return;
   }
-  Engine::Slot& s = engine_->slots_[slot_];
+  engine_->deactivate(slot_);
+}
+
+void Engine::deactivate(std::uint32_t slot) {
+  if (WorkerScope* ws = tls_worker; ws != nullptr && ws->engine == this) {
+    GLOCKS_CHECK(plan_.owner[slot] == ws->shard,
+                 "sleep() on " << slot_perf_[slot].name
+                               << ", which shard " << ws->shard
+                               << " does not own");
+    Slot& s = slots_[slot];
+    if (s.active) {
+      s.active = false;
+      --shard_states_[ws->shard].active_delta;
+    }
+    return;
+  }
+  Slot& s = slots_[slot];
   if (s.active) {
     s.active = false;
-    --engine_->num_active_;
+    --num_active_;
   }
 }
 
@@ -54,6 +85,10 @@ void Engine::add(Component& c, std::string_view name) {
 
 void Engine::schedule(std::uint32_t slot, Cycle at) {
   if (mode_ != EngineMode::kEventDriven) return;
+  if (WorkerScope* ws = tls_worker; ws != nullptr && ws->engine == this) {
+    schedule_from_worker(*ws, slot, at);
+    return;
+  }
   GLOCKS_CHECK(at >= now_, "wake scheduled in the past: cycle "
                                << at << " < now " << now_ << " ("
                                << slot_perf_[slot].name << ")");
@@ -77,6 +112,46 @@ void Engine::schedule(std::uint32_t slot, Cycle at) {
   std::push_heap(wakes_.begin(), wakes_.end(), std::greater<>{});
 }
 
+void Engine::schedule_from_worker(WorkerScope& ws, std::uint32_t slot,
+                                  Cycle at) {
+  GLOCKS_CHECK(at >= now_, "wake scheduled in the past: cycle "
+                               << at << " < now " << now_ << " ("
+                               << slot_perf_[slot].name << ")");
+  ShardState& sh = shard_states_[ws.shard];
+  const std::uint32_t owner = plan_.owner[slot];
+  if (owner == ws.shard) {
+    // Own slot: the per-slot fields have a single writer (this worker),
+    // so they update in place; heap pushes are deferred to the barrier.
+    ++sh.wakes_delta;
+    ++slot_perf_[slot].wakes;
+    slots_[slot].last_wake = at;
+    if (at == now_) {
+      if (slot <= ws.slot) {
+        sh.deferred.push_back(Wake{now_ + 1, slot});
+      } else if (!slots_[slot].active) {
+        slots_[slot].active = true;
+        ++sh.active_delta;
+      }
+      return;
+    }
+    sh.deferred.push_back(Wake{at, slot});
+    return;
+  }
+  // The only legal cross-owner wakes target the serial slots: the mesh
+  // (which every tile feeds) and the epoch-boundary suffix. A wake for
+  // another shard's slot means a component reached across the boundary
+  // without going through the staged exchange — a determinism bug, so
+  // fail loudly rather than racing.
+  GLOCKS_CHECK(owner == ShardPlan::kCoordinator ||
+                   owner == ShardPlan::kSequential,
+               "cross-shard wake: " << slot_perf_[slot].name
+                                    << " is owned by shard " << owner
+                                    << " but was woken from shard "
+                                    << ws.shard << " ("
+                                    << slot_perf_[ws.slot].name << ")");
+  sh.cross.push_back(CrossWake{slot, at, ws.slot});
+}
+
 void Engine::activate_due() {
   while (!wakes_.empty() && wakes_.front().at <= now_) {
     const std::uint32_t slot = wakes_.front().slot;
@@ -92,6 +167,10 @@ void Engine::activate_due() {
 void Engine::step() {
   const bool event = mode_ == EngineMode::kEventDriven;
   if (event) activate_due();
+  if (plan_.num_shards > 1) {
+    step_sharded(event);
+    return;
+  }
   std::uint64_t executed = 0;
   in_scan_ = true;
   for (scan_pos_ = 0; scan_pos_ < slots_.size(); ++scan_pos_) {
@@ -106,6 +185,221 @@ void Engine::step() {
   perf_.ticks_skipped += slots_.size() - executed;
   ++perf_.cycles_stepped;
   ++now_;
+}
+
+void Engine::step_sharded(bool event) {
+  // One lockstep epoch == one cycle. The sub-phase order reproduces the
+  // serial scan exactly: wave A (slots before the coordinator) in
+  // parallel, the coordinator serially, wave B (slots after it) in
+  // parallel, then the kSequential suffix serially — with the barrier
+  // merges replaying deferred wakes in the order the serial scan would
+  // have issued them, and the hooks flushing staged cross-shard traffic.
+  std::uint64_t executed = 0;
+  in_scan_ = true;
+
+  run_waves(/*wave_b=*/false);
+  for (ShardState& sh : shard_states_) {
+    executed += sh.ticks_delta;
+    sh.ticks_delta = 0;
+  }
+  merge_shard_effects();
+
+  if (coord_slot_ != kNoSlot) {
+    // Staged wave-A sends flush as-if issued during their owners' ticks:
+    // the cursor sits just before the coordinator, so a wake for it
+    // activates this cycle and express timing anchors to `now`.
+    scan_pos_ = coord_slot_ - 1;
+    if (shard_hooks_.pre_coordinator) shard_hooks_.pre_coordinator();
+    scan_pos_ = coord_slot_;
+    if (!event || slots_[coord_slot_].active) {
+      slots_[coord_slot_].c->tick(now_);
+      slots_[coord_slot_].last_tick = now_;
+      ++slot_perf_[coord_slot_].ticks;
+      ++executed;
+    }
+  }
+
+  run_waves(/*wave_b=*/true);
+  for (ShardState& sh : shard_states_) {
+    executed += sh.ticks_delta;
+    sh.ticks_delta = 0;
+  }
+  merge_shard_effects();
+
+  // Core-issued sends flush after wave B; any wake they raise for the
+  // coordinator bumps to the next cycle, exactly as it would have when
+  // issued from a core's tick (cursor past the whole scan).
+  scan_pos_ = slots_.empty() ? 0 : slots_.size() - 1;
+  if (shard_hooks_.post_waves) shard_hooks_.post_waves();
+
+  for (std::size_t i = seq_begin_; i < slots_.size(); ++i) {
+    scan_pos_ = i;
+    if (event && !slots_[i].active) continue;
+    slots_[i].c->tick(now_);
+    slots_[i].last_tick = now_;
+    ++slot_perf_[i].ticks;
+    ++executed;
+  }
+
+  in_scan_ = false;
+  perf_.ticks_executed += executed;
+  perf_.ticks_skipped += slots_.size() - executed;
+  ++perf_.cycles_stepped;
+  ++epoch_;
+  ++now_;
+}
+
+void Engine::run_waves(bool wave_b) {
+  wave_b_ = wave_b;
+  if (crew_) crew_->begin_wave();
+  run_shard_wave(0, wave_b);
+  if (crew_) crew_->finish_wave();
+}
+
+void Engine::run_shard_wave(std::uint32_t shard, bool wave_b) {
+  ShardState& sh = shard_states_[shard];
+  const std::vector<std::uint32_t>& list = wave_b ? sh.wave_b : sh.wave_a;
+  const bool event = mode_ == EngineMode::kEventDriven;
+  WorkerScope scope{this, shard, 0};
+  tls_worker = &scope;
+  try {
+    for (const std::uint32_t slot : list) {
+      if (event && !slots_[slot].active) continue;
+      scope.slot = slot;
+      slots_[slot].c->tick(now_);
+      slots_[slot].last_tick = now_;
+      ++slot_perf_[slot].ticks;
+      ++sh.ticks_delta;
+    }
+  } catch (...) {
+    sh.error = std::current_exception();
+  }
+  tls_worker = nullptr;
+}
+
+void Engine::merge_shard_effects() {
+  std::exception_ptr err;
+  for (ShardState& sh : shard_states_) {
+    if (sh.error != nullptr && err == nullptr) err = sh.error;
+    sh.error = nullptr;
+  }
+  if (err != nullptr) {
+    // The run is dead (SimError propagates to the caller); drop the
+    // partial effects so the engine is at least internally consistent.
+    for (ShardState& sh : shard_states_) {
+      sh.deferred.clear();
+      sh.cross.clear();
+      sh.wakes_delta = 0;
+      sh.active_delta = 0;
+      sh.ticks_delta = 0;
+    }
+    in_scan_ = false;
+    std::rethrow_exception(err);
+  }
+
+  for (ShardState& sh : shard_states_) {
+    perf_.wakes_scheduled += sh.wakes_delta;
+    sh.wakes_delta = 0;
+    num_active_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(num_active_) + sh.active_delta);
+    sh.active_delta = 0;
+    for (const Wake& w : sh.deferred) {
+      wakes_.push_back(w);
+      std::push_heap(wakes_.begin(), wakes_.end(), std::greater<>{});
+    }
+    sh.deferred.clear();
+  }
+
+  // Cross wakes (coordinator/sequential targets) replay in ascending
+  // sender-slot order — exactly the order the serial scan would have
+  // issued them, which keeps last_wake (a serialized field) identical.
+  // Each shard's buffer is already sender-sorted (workers tick their
+  // slots in ascending order), so this is a k-way merge; a sender slot
+  // belongs to exactly one shard, so ties cannot occur across shards.
+  std::vector<std::size_t> idx(shard_states_.size(), 0);
+  for (;;) {
+    std::size_t best_shard = shard_states_.size();
+    std::uint32_t best_sender = 0xFFFFFFFFu;
+    for (std::size_t s = 0; s < shard_states_.size(); ++s) {
+      const ShardState& sh = shard_states_[s];
+      if (idx[s] < sh.cross.size() &&
+          sh.cross[idx[s]].sender < best_sender) {
+        best_sender = sh.cross[idx[s]].sender;
+        best_shard = s;
+      }
+    }
+    if (best_shard == shard_states_.size()) break;
+    const CrossWake cw = shard_states_[best_shard].cross[idx[best_shard]++];
+    ++perf_.wakes_scheduled;
+    ++slot_perf_[cw.slot].wakes;
+    slots_[cw.slot].last_wake = cw.at;
+    if (cw.at == now_) {
+      if (cw.slot <= cw.sender) {
+        wakes_.push_back(Wake{now_ + 1, cw.slot});
+        std::push_heap(wakes_.begin(), wakes_.end(), std::greater<>{});
+      } else if (!slots_[cw.slot].active) {
+        slots_[cw.slot].active = true;
+        ++num_active_;
+      }
+      continue;
+    }
+    wakes_.push_back(Wake{cw.at, cw.slot});
+    std::push_heap(wakes_.begin(), wakes_.end(), std::greater<>{});
+  }
+  for (ShardState& sh : shard_states_) sh.cross.clear();
+}
+
+void Engine::set_shard_plan(ShardPlan plan, ShardHooks hooks) {
+  GLOCKS_CHECK(!in_scan_, "set_shard_plan mid-cycle (inside a scan)");
+  crew_.reset();
+  shard_states_.clear();
+  shard_hooks_ = ShardHooks{};
+  coord_slot_ = kNoSlot;
+  seq_begin_ = slots_.size();
+  epoch_ = 0;
+  if (plan.num_shards <= 1) {
+    plan_ = ShardPlan{};
+    return;
+  }
+  GLOCKS_CHECK(plan.owner.size() == slots_.size(),
+               "shard plan covers " << plan.owner.size() << " slots, "
+                                    << slots_.size() << " registered");
+  plan_ = std::move(plan);
+  shard_hooks_ = std::move(hooks);
+  for (std::size_t i = 0; i < plan_.owner.size(); ++i) {
+    const std::uint32_t o = plan_.owner[i];
+    if (o == ShardPlan::kCoordinator) {
+      GLOCKS_CHECK(coord_slot_ == kNoSlot,
+                   "shard plan names two coordinator slots");
+      GLOCKS_CHECK(i > 0, "coordinator cannot be slot 0");
+      coord_slot_ = static_cast<std::uint32_t>(i);
+      continue;
+    }
+    if (o == ShardPlan::kSequential) {
+      seq_begin_ = std::min(seq_begin_, i);
+      continue;
+    }
+    GLOCKS_CHECK(o < plan_.num_shards,
+                 "slot " << slot_perf_[i].name << " assigned to shard "
+                         << o << " of " << plan_.num_shards);
+  }
+  for (std::size_t i = seq_begin_; i < slots_.size(); ++i) {
+    GLOCKS_CHECK(plan_.owner[i] == ShardPlan::kSequential,
+                 "kSequential slots must form a suffix of the scan");
+  }
+  shard_states_.resize(plan_.num_shards);
+  for (std::size_t i = 0; i < seq_begin_; ++i) {
+    const std::uint32_t o = plan_.owner[i];
+    if (o == ShardPlan::kCoordinator) continue;
+    if (coord_slot_ != kNoSlot && i > coord_slot_) {
+      shard_states_[o].wave_b.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      shard_states_[o].wave_a.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  crew_ = std::make_unique<ShardCrew>(
+      plan_.num_shards - 1,
+      [this](std::uint32_t w) { run_shard_wave(w + 1, wave_b_); });
 }
 
 Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles,
@@ -153,6 +447,21 @@ std::string Engine::dormancy_report() const {
     const Slot& s = slots_[i];
     if (s.active) continue;
     oss << "  " << slot_perf_[i].name << ": dormant";
+    if (plan_.num_shards > 1) {
+      // Under sharded execution a stuck component is debugged by owner:
+      // name the shard, the lockstep epoch, and the shard-local clock
+      // (all shards sit at the barrier, so local clock == global now).
+      const std::uint32_t o = plan_.owner[i];
+      oss << " [";
+      if (o == ShardPlan::kCoordinator) {
+        oss << "coordinator";
+      } else if (o == ShardPlan::kSequential) {
+        oss << "sequential";
+      } else {
+        oss << "shard " << o;
+      }
+      oss << ", epoch " << epoch_ << ", local clock @" << now_ << "]";
+    }
     if (s.last_tick == kNoCycle) {
       oss << ", never ticked";
     } else {
@@ -185,6 +494,11 @@ void Engine::throw_hang(Cycle max_cycles, const char* phase) const {
   } else {
     oss << phase << " exceeded its budget of " << max_cycles
         << " cycles — in-flight state failed to quiesce";
+  }
+  if (plan_.num_shards > 1) {
+    oss << "\nsharded execution: " << plan_.num_shards
+        << " shards in lockstep, epoch " << epoch_ << ", barrier clock @"
+        << now_;
   }
   if (hang_reporter_) {
     oss << "\n--- hang diagnostic (cycle " << now_ << ") ---\n"

@@ -28,12 +28,15 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/shard.hpp"
 
 namespace glocks::ckpt {
 class ArchiveWriter;
@@ -43,6 +46,15 @@ class ArchiveReader;
 namespace glocks::sim {
 
 class Engine;
+
+/// Identity of the shard-wave worker currently running on this thread
+/// (thread-local; null outside a wave). The mesh consults it to decide
+/// whether a send must be staged for the deterministic barrier exchange.
+struct WorkerScope {
+  const Engine* engine;
+  std::uint32_t shard;
+  std::uint32_t slot;  ///< slot whose tick() is executing right now
+};
 
 /// Kernel self-measurement counters (the `--perf` / bench layer reads
 /// these; they never influence simulation results).
@@ -154,6 +166,26 @@ class Engine {
   const EnginePerf& perf() const { return perf_; }
   const std::vector<SlotPerf>& slot_perf() const { return slot_perf_; }
 
+  /// Installs (or, with num_shards <= 1, removes) a spatial sharding
+  /// plan. With a plan of S > 1 shards, step() runs one lockstep epoch
+  /// per cycle: wave A (per-tile memory-side slots) on S threads, the
+  /// coordinator slot serially, wave B (cores) on S threads, then the
+  /// kSequential suffix serially — with `hooks` flushing staged
+  /// cross-shard traffic at the two barrier points. Results are
+  /// bit-identical to the serial scan; see shard.hpp for the contract.
+  /// Call only between cycles, after every slot is registered; calling
+  /// again replaces the previous plan (the old crew is joined first).
+  void set_shard_plan(ShardPlan plan, ShardHooks hooks = {});
+  std::uint32_t num_shards() const { return plan_.num_shards; }
+  /// Lockstep epochs completed under the current plan (one per sharded
+  /// cycle). Diagnostic only — not serialized, resets with the plan.
+  std::uint64_t shard_epoch() const { return epoch_; }
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// The worker scope of the calling thread if it is currently running
+  /// a shard wave, else nullptr.
+  static const WorkerScope* current_worker();
+
   /// Serializes the kernel state — clock, per-slot active flags and
   /// last-tick/last-wake cycles, the pending-wake queue (canonically
   /// sorted), and the perf counters — as one archive-section payload.
@@ -183,8 +215,35 @@ class Engine {
     }
   };
 
+  /// A wake issued from a shard worker against a coordinator/sequential
+  /// slot; replayed on the main thread at the next barrier in ascending
+  /// sender order (the order the serial scan would have issued it).
+  struct CrossWake {
+    std::uint32_t slot;
+    Cycle at;
+    std::uint32_t sender;
+  };
+  /// Per-shard wave lists plus the deferred effects a worker batches up
+  /// for the main thread to merge at the barrier.
+  struct ShardState {
+    std::vector<std::uint32_t> wave_a;
+    std::vector<std::uint32_t> wave_b;
+    std::vector<Wake> deferred;   ///< own-slot heap pushes
+    std::vector<CrossWake> cross;
+    std::uint64_t wakes_delta = 0;
+    std::uint64_t ticks_delta = 0;
+    std::int64_t active_delta = 0;
+    std::exception_ptr error;
+  };
+
   void schedule(std::uint32_t slot, Cycle at);
+  void schedule_from_worker(WorkerScope& ws, std::uint32_t slot, Cycle at);
+  void deactivate(std::uint32_t slot);
   void activate_due();
+  void step_sharded(bool event);
+  void run_waves(bool wave_b);
+  void run_shard_wave(std::uint32_t shard, bool wave_b);
+  void merge_shard_effects();
   Cycle run_loop(const std::function<bool()>& done, Cycle max_cycles,
                  Cycle pause_at, const char* phase);
   /// The dormant-component appendix of the hang diagnostic: every
@@ -208,6 +267,17 @@ class Engine {
   Cycle now_ = 0;
   EnginePerf perf_;
   std::vector<SlotPerf> slot_perf_;
+
+  /// Sharded-execution state (inert while plan_.num_shards <= 1).
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  ShardPlan plan_;
+  ShardHooks shard_hooks_;
+  std::vector<ShardState> shard_states_;
+  std::uint32_t coord_slot_ = kNoSlot;
+  std::size_t seq_begin_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool wave_b_ = false;  ///< wave selector, published before each barrier
+  std::unique_ptr<ShardCrew> crew_;
 };
 
 }  // namespace glocks::sim

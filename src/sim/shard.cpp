@@ -1,0 +1,54 @@
+#include "sim/shard.hpp"
+
+namespace glocks::sim {
+
+ShardCrew::ShardCrew(std::uint32_t workers,
+                     std::function<void(std::uint32_t)> fn)
+    : fn_(std::move(fn)), done_(workers) {
+  threads_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ShardCrew::~ShardCrew() {
+  stop_.store(true, std::memory_order_release);
+  // Bump the generation so workers parked on the gate re-check stop_.
+  go_.fetch_add(1, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+void ShardCrew::begin_wave() {
+  ++epoch_;
+  go_.store(epoch_, std::memory_order_release);
+}
+
+void ShardCrew::finish_wave() {
+  for (auto& d : done_) {
+    std::uint32_t spins = 0;
+    while (d.v.load(std::memory_order_acquire) < epoch_) {
+      if (++spins > 512) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+}
+
+void ShardCrew::worker_main(std::uint32_t w) {
+  for (std::uint64_t next = 1;; ++next) {
+    std::uint32_t spins = 0;
+    while (go_.load(std::memory_order_acquire) < next) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (++spins > 512) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    fn_(w);
+    done_[w].v.store(next, std::memory_order_release);
+  }
+}
+
+}  // namespace glocks::sim

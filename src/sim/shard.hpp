@@ -1,0 +1,87 @@
+// Spatial sharding support for the engine: the ownership map that
+// assigns each registered slot to a host thread, and the persistent
+// worker crew that executes shard waves between deterministic barriers.
+//
+// The horizon argument (docs/simulation_model.md, "Sharded execution &
+// conservative lookahead"): the minimum cross-shard delivery delay in
+// the tiled machine is one full cycle — a message sent by a component
+// during cycle N is observable no earlier than cycle N+1 (NIC injection
+// plus at least one router traversal; the N -> N+1 visibility rule is
+// the floor even for same-tile delivery). One cycle is therefore always
+// a safe conservative lookahead, and the engine runs shards in lockstep
+// epochs of exactly one cycle: every shard ticks its own slots in
+// parallel, then all cross-shard effects (packets, wakes) are exchanged
+// at fixed barrier points in a deterministic merge order, so results
+// are bit-identical to the serial scan regardless of thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace glocks::sim {
+
+/// Ownership map for sharded execution, indexed by engine slot.
+///
+/// Slot layout contract (validated by Engine::set_shard_plan): sharded
+/// "wave A" slots first (per-tile memory-side components), then at most
+/// one kCoordinator slot (the mesh — ticked serially between waves,
+/// because it is the one component that touches every tile), then
+/// sharded "wave B" slots (cores), then a kSequential suffix (G-line
+/// wires, census) ticked serially at the epoch boundary.
+struct ShardPlan {
+  static constexpr std::uint32_t kCoordinator = 0xFFFFFFFEu;
+  static constexpr std::uint32_t kSequential = 0xFFFFFFFFu;
+  std::uint32_t num_shards = 1;
+  /// Owner of each slot: a shard id, kCoordinator, or kSequential.
+  std::vector<std::uint32_t> owner;
+};
+
+/// Barrier callbacks the system installs alongside a plan. Both run on
+/// the main thread with every worker parked (a full happens-before
+/// edge), which is what makes their effects deterministic.
+struct ShardHooks {
+  /// After wave A, before the coordinator slot ticks: flush staged
+  /// cross-shard traffic from the memory-side components.
+  std::function<void()> pre_coordinator;
+  /// After wave B, before the sequential tail: flush traffic staged by
+  /// the cores.
+  std::function<void()> post_waves;
+};
+
+/// Persistent worker threads for shards 1..N-1 (the main thread runs
+/// shard 0 itself). Generation-counter barriers: begin_wave() releases
+/// every worker for one wave, finish_wave() spins (with yield backoff)
+/// until all have reported done. acquire/release pairs on the counters
+/// give the wave body full happens-before edges in both directions.
+class ShardCrew {
+ public:
+  /// `fn(w)` runs worker w's wave; w is 0-based over the crew, so the
+  /// engine maps it to shard w+1.
+  ShardCrew(std::uint32_t workers, std::function<void(std::uint32_t)> fn);
+  ~ShardCrew();
+
+  ShardCrew(const ShardCrew&) = delete;
+  ShardCrew& operator=(const ShardCrew&) = delete;
+
+  void begin_wave();
+  void finish_wave();
+
+ private:
+  struct alignas(64) DoneFlag {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  void worker_main(std::uint32_t w);
+
+  std::function<void(std::uint32_t)> fn_;
+  std::atomic<std::uint64_t> go_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<DoneFlag> done_;
+  std::vector<std::thread> threads_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace glocks::sim

@@ -10,6 +10,12 @@
 //   --scale X             input scale in (0,1]             [1.0]
 //   --seeds n1,n2,...     workload seeds (--seed N works too)  [1]
 //   --jobs N              simulations run concurrently     [nproc]
+//   --shards N            shards each simulated machine runs on    [1]
+//                         (or GLOCKS_SHARDS when the flag is absent).
+//                         Pure execution strategy, like --jobs: CSV
+//                         bytes are identical for every value, and a
+//                         --manifest sweep may resume under a different
+//                         shard count.
 //   --all                 shorthand for every workload
 //   --faults SPEC         fault-injection plan for every grid point.
 //                         SPEC is a bare rate ("0.001") or a key=value
@@ -40,6 +46,7 @@
 // emitted in grid order, so the CSV bytes are identical for any --jobs
 // value (tests/determinism_test.cpp holds us to that).
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -116,6 +123,16 @@ int main(int argc, char** argv) {
     spec.jobs = static_cast<unsigned>(
         args.get_u64("jobs", exec::default_jobs()));
     GLOCKS_CHECK(spec.jobs >= 1, "--jobs must be >= 1");
+
+    if (args.has("shards")) {
+      spec.num_shards =
+          static_cast<std::uint32_t>(args.get_u64("shards", 1));
+    } else if (const char* env = std::getenv("GLOCKS_SHARDS");
+               env != nullptr && *env != '\0') {
+      spec.num_shards =
+          static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    }
+    GLOCKS_CHECK(spec.num_shards >= 1, "--shards must be >= 1");
 
     if (args.has("faults")) {
       spec.fault = fault::parse_fault_spec(args.get("faults"));

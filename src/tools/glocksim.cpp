@@ -28,6 +28,14 @@
 //                        fault/fault.hpp. Adds a fault/recovery section
 //                        to the report (and CSV/JSON output).
 //   --fault-seed N       fault-injector seed (overrides seed= in SPEC)
+//   --shards N           host threads the machine is sharded across   [1]
+//                        (or the GLOCKS_SHARDS env var when the flag is
+//                        absent). An execution strategy, not a model
+//                        parameter: output is bit-identical for every N.
+//                        With --restore, the verified replay re-shards
+//                        to N for the remaining run. Incompatible with
+//                        --trace (trace events are appended from core
+//                        ticks, which run on shard workers).
 //   --perf               print a simulator-throughput summary (wall time,
 //                        Mcycles/s, kernel tick/skip counters) to stderr;
 //                        stdout output is unchanged
@@ -45,9 +53,11 @@
 //                        bit-identical to the uninterrupted run's.
 //   --list               list available workloads and lock kinds
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <iostream>
+#include <optional>
 
 #include "ckpt/checkpoint.hpp"
 #include "fault/fault.hpp"
@@ -77,6 +87,23 @@ int list_everything() {
   return 0;
 }
 
+/// --shards when given, else GLOCKS_SHARDS from the environment, else
+/// nothing (callers pick their own default).
+std::optional<std::uint32_t> requested_shards(const tools::Args& args) {
+  if (args.has("shards")) {
+    const std::uint64_t n = args.get_u64("shards", 1);
+    GLOCKS_CHECK(n >= 1, "--shards needs a positive count");
+    return static_cast<std::uint32_t>(n);
+  }
+  const char* env = std::getenv("GLOCKS_SHARDS");
+  if (env != nullptr && *env != '\0') {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    GLOCKS_CHECK(n >= 1, "GLOCKS_SHARDS needs a positive count");
+    return static_cast<std::uint32_t>(n);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,7 +120,7 @@ int main(int argc, char** argv) {
                    "--trace");
       const std::string path = args.get("restore");
       const auto meta = ckpt::read_checkpoint_meta(path);
-      const auto result = ckpt::restore_and_run(path);
+      const auto result = ckpt::restore_and_run(path, requested_shards(args));
       if (args.has("csv")) {
         harness::write_csv_header(std::cout, meta.spec.cmp.fault.enabled);
         harness::write_csv_row(result, std::cout,
@@ -119,6 +146,9 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_u64("glocks", 2));
     cfg.cmp.gline.signal_latency = args.get_u64("gline-latency", 1);
     cfg.seed = args.get_u64("seed", 1);
+    if (const auto shards = requested_shards(args)) {
+      cfg.cmp.num_shards = *shards;
+    }
 
     if (args.has("faults")) {
       cfg.cmp.fault = fault::parse_fault_spec(args.get("faults"));

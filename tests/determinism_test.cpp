@@ -21,6 +21,7 @@
 #include "exec/sweep.hpp"
 #include "harness/runner.hpp"
 #include "result_diff.hpp"
+#include "shard_env.hpp"
 #include "workloads/registry.hpp"
 
 namespace glocks {
@@ -34,6 +35,7 @@ harness::RunResult run_once(const workloads::RegistryEntry& entry,
   harness::RunConfig cfg;
   cfg.policy.highly_contended = kind;
   cfg.seed = seed;
+  cfg.cmp.num_shards = test::env_shards();
   return harness::run_workload(*wl, cfg);
 }
 
@@ -81,6 +83,7 @@ harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
   harness::RunConfig cfg;
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = seed;
+  cfg.cmp.num_shards = test::env_shards();
   cfg.cmp.fault.enabled = true;
   cfg.cmp.fault.seed = seed * 31 + 5;
   cfg.cmp.fault.drop_rate = 1e-3;

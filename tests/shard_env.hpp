@@ -1,0 +1,21 @@
+// Shard count for test machines: GLOCKS_SHARDS when set, else 1. The
+// TSan gate (scripts/check_tsan.sh) exports GLOCKS_SHARDS=4 and reruns
+// the determinism/soak suites, putting every data-race annotation in the
+// sharded engine under the race detector with real workloads — results
+// are bit-identical either way, so the suites' assertions need no
+// shard-specific cases.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace glocks::test {
+
+inline std::uint32_t env_shards() {
+  const char* env = std::getenv("GLOCKS_SHARDS");
+  if (env == nullptr || *env == '\0') return 1;
+  const unsigned long n = std::strtoul(env, nullptr, 10);
+  return n >= 1 ? static_cast<std::uint32_t>(n) : 1;
+}
+
+}  // namespace glocks::test

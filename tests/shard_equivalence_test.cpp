@@ -1,0 +1,173 @@
+// The shard-equivalence contract (docs/simulation_model.md): sharded
+// execution is an execution strategy, not a model parameter, so a run at
+// --shards N must be bit-identical to the serial scan for every N — same
+// cycle counts, same traffic, same census, same fault ledger, same
+// checkpoint-resumed tail. This suite drives every registry workload
+// across {1, 2, 4, 8} shards and two seeds, repeats the exercise with
+// fault injection enabled, and round-trips a checkpoint written under
+// one shard count through a restore under another.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdint>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "result_diff.hpp"
+#include "workloads/registry.hpp"
+
+namespace glocks {
+namespace {
+
+harness::RunConfig base_config(locks::LockKind kind, std::uint64_t seed) {
+  harness::RunConfig cfg;
+  cfg.policy.highly_contended = kind;
+  cfg.seed = seed;
+  return cfg;
+}
+
+harness::RunResult run_sharded(const workloads::RegistryEntry& entry,
+                               std::uint64_t seed, std::uint32_t shards) {
+  auto wl = entry.make(0.25);
+  harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
+  cfg.cmp.num_shards = shards;
+  return harness::run_workload(*wl, cfg);
+}
+
+harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
+                               std::uint64_t seed, std::uint32_t shards) {
+  auto wl = entry.make(0.25);
+  harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
+  cfg.cmp.num_shards = shards;
+  cfg.cmp.fault.enabled = true;
+  cfg.cmp.fault.seed = seed * 31 + 5;
+  cfg.cmp.fault.drop_rate = 1e-3;
+  cfg.cmp.fault.garble_rate = 1e-3;
+  cfg.cmp.fault.delay_rate = 1e-3;
+  cfg.cmp.fault.noise_rate = 1e-3;
+  cfg.cmp.fault.stuck_rate = 1e-4;
+  return harness::run_workload(*wl, cfg);
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EveryWorkload, ShardCountsAreBitIdentical) {
+  const auto& entry = workloads::registry()[GetParam()];
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const auto serial = run_sharded(entry, seed, 1);
+    for (const std::uint32_t shards : {2u, 4u, 8u}) {
+      const auto sharded = run_sharded(entry, seed, shards);
+      const std::string diff = test::diff_results(serial, sharded);
+      EXPECT_EQ(diff, "") << entry.name << " seed " << seed << " shards "
+                          << shards << ": " << diff;
+      // The human-readable report is derived from the result, but byte
+      // equality there also covers float formatting paths.
+      EXPECT_EQ(harness::summary_text(serial), harness::summary_text(sharded))
+          << entry.name << " seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+// Fault injection must survive sharding untouched: every fate is a pure
+// hash of (seed, wire, cycle), and the G-line network plus the fault
+// injector tick in the sequential tail of each epoch, so the faulted
+// ledger — injections, retransmissions, watchdog timeouts, demotions —
+// must match the serial run bit for bit.
+TEST_P(EveryWorkload, FaultedShardCountsAreBitIdentical) {
+  const auto& entry = workloads::registry()[GetParam()];
+  const auto serial = run_faulted(entry, 11, 1);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const auto sharded = run_faulted(entry, 11, shards);
+    const std::string diff = test::diff_results(serial, sharded);
+    EXPECT_EQ(diff, "") << entry.name << " (faulted) shards " << shards
+                        << ": " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EveryWorkload,
+    ::testing::Range<std::size_t>(0, workloads::registry().size()),
+    [](const auto& info) {
+      return workloads::registry()[info.param].name;
+    });
+
+// A checkpoint is tied to the machine, not the execution strategy: one
+// written mid-run at --shards 4 must restore-and-finish at --shards 1
+// with a bit-identical result, and vice versa. The restore replays at
+// the recorded shard count (the archive's byte-exact verification
+// demands it), then re-shards for the tail.
+TEST(ShardCheckpoint, RestoreCrossesShardCounts) {
+  const auto& entry = workloads::registry()[0];
+  ckpt::RunSpec spec;
+  spec.workload = entry.name;
+  spec.scale = 0.25;
+  spec.seed = 5;
+  spec.policy.highly_contended = locks::LockKind::kGlock;
+
+  // Uninterrupted serial baseline.
+  const auto baseline = run_sharded(entry, spec.seed, 1);
+  ASSERT_GT(baseline.cycles, 200u);
+  const Cycle pause = baseline.cycles / 2;
+
+  const std::string dir = ::testing::TempDir();
+  for (const auto& [write_shards, restore_shards] :
+       {std::pair<std::uint32_t, std::uint32_t>{4, 1},
+        std::pair<std::uint32_t, std::uint32_t>{1, 4}}) {
+    spec.cmp.num_shards = write_shards;
+    std::vector<std::string> written;
+    ckpt::run_with_checkpoints(spec, {pause}, dir, &written);
+    ASSERT_EQ(written.size(), 1u)
+        << "expected exactly one checkpoint at cycle " << pause;
+
+    const auto meta = ckpt::read_checkpoint_meta(written[0]);
+    EXPECT_EQ(meta.spec.cmp.num_shards, write_shards);
+
+    const auto restored = ckpt::restore_and_run(written[0], restore_shards);
+    const std::string diff = test::diff_results(baseline, restored);
+    EXPECT_EQ(diff, "") << "write at " << write_shards << " shards, restore "
+                        << "at " << restore_shards << ": " << diff;
+    std::remove(written[0].c_str());
+  }
+}
+
+// Same-shard-count checkpoints are byte-identical run to run — the
+// archive encodes only deterministic state (logical pool counters, not
+// host slab accounting), so two independent sharded runs paused at the
+// same cycle write the same file.
+TEST(ShardCheckpoint, SameShardCountArchivesAreByteStable) {
+  const auto& entry = workloads::registry()[0];
+  ckpt::RunSpec spec;
+  spec.workload = entry.name;
+  spec.scale = 0.25;
+  spec.seed = 9;
+  spec.policy.highly_contended = locks::LockKind::kGlock;
+  spec.cmp.num_shards = 4;
+
+  const auto baseline = run_sharded(entry, spec.seed, 1);
+  ASSERT_GT(baseline.cycles, 200u);
+  const Cycle pause = baseline.cycles / 2;
+
+  std::string bytes[2];
+  for (int i = 0; i < 2; ++i) {
+    const std::string dir = ::testing::TempDir();
+    std::vector<std::string> written;
+    ckpt::run_with_checkpoints(spec, {pause}, dir, &written);
+    ASSERT_EQ(written.size(), 1u);
+    std::FILE* f = std::fopen(written[0].c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes[i].append(buf, n);
+    }
+    std::fclose(f);
+    std::remove(written[0].c_str());
+  }
+  ASSERT_FALSE(bytes[0].empty());
+  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+}  // namespace
+}  // namespace glocks
