@@ -12,13 +12,22 @@
 # rows it emitted before the abort still count as completed runs, which
 # is exactly what the completion_rate column measures.
 #
+# A second table then sweeps the MESH fault domain (mesh:rate=R arms
+# drop=garble=delay=R and dead=R/10 on every mesh link): per cell it
+# reports completion rate, ARQ retransmissions, dead links + detoured
+# forwards, e2e watchdog retries, and the mean latency the recovery
+# machinery added over a clean baseline of the same grid
+# (mean_added_latency, in cycles).
+#
 # Usage: scripts/fault_campaign.sh [out.csv]      (default: stdout)
-# Knobs (environment): RATES LOCKS WORKLOADS SEEDS CORES SCALE JOBS SWEEP
+# Knobs (environment): RATES MESH_RATES LOCKS WORKLOADS SEEDS CORES
+#                      SCALE JOBS SWEEP
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SWEEP="${SWEEP:-build/src/tools/glocks-sweep}"
 RATES="${RATES:-0.0001 0.001 0.01}"
+MESH_RATES="${MESH_RATES:-0.0001 0.001 0.005}"
 LOCKS="${LOCKS:-glock mcs}"
 WORKLOADS="${WORKLOADS:-SCTR,MCTR,ACTR}"
 SEEDS="${SEEDS:-1,2,3}"
@@ -59,6 +68,51 @@ for rate in $RATES; do
       }' "$TMP" >> "$OUT"
     if [[ $status -ne 0 ]]; then
       echo "fault_campaign: rate=$rate lock=$lock aborted (exit $status)" >&2
+    fi
+  done
+done
+
+# ---------------------------------------------------------------------
+# Mesh fault domain. Clean (faults-off) baseline first, per lock, to
+# price the recovery machinery: mean_added_latency is this cell's mean
+# cycles minus the same grid's clean mean.
+declare -A BASE_CYCLES
+for lock in $LOCKS; do
+  "$SWEEP" --workloads "$WORKLOADS" --locks "$lock" --cores "$CORES" \
+           --seeds "$SEEDS" --scale "$SCALE" --jobs "$JOBS" > "$TMP"
+  BASE_CYCLES[$lock]=$(awk -F, '
+    NR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+    { n++; c += $col["cycles"] }
+    END { printf "%.3f", n ? c / n : 0 }' "$TMP")
+done
+
+echo "" >> "$OUT"
+echo "mesh_rate,lock,runs_expected,runs_completed,completion_rate,mesh_retransmissions,mesh_dead_links,mesh_reroutes,e2e_retries,mean_cycles,mean_added_latency" >> "$OUT"
+for rate in $MESH_RATES; do
+  for lock in $LOCKS; do
+    status=0
+    "$SWEEP" --workloads "$WORKLOADS" --locks "$lock" --cores "$CORES" \
+             --seeds "$SEEDS" --scale "$SCALE" --jobs "$JOBS" \
+             --faults "mesh:rate=$rate" > "$TMP" 2>/dev/null || status=$?
+    awk -F, -v rate="$rate" -v lock="$lock" -v expected="$expected" \
+        -v base="${BASE_CYCLES[$lock]}" '
+      NR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+      {
+        n++
+        cyc += $col["cycles"]
+        rtx += $col["mesh_retransmissions"]
+        dead += $col["mesh_dead_links"]
+        rr += $col["mesh_reroutes"]
+        e2e += $col["e2e_retries"]
+      }
+      END {
+        printf "%s,%s,%d,%d,%.4f,%d,%d,%d,%d,%.3f,%.3f\n",
+               rate, lock, expected, n, expected ? n / expected : 0,
+               rtx, dead, rr, e2e, n ? cyc / n : 0,
+               n ? cyc / n - base : 0
+      }' "$TMP" >> "$OUT"
+    if [[ $status -ne 0 ]]; then
+      echo "fault_campaign: mesh rate=$rate lock=$lock aborted (exit $status)" >&2
     fi
   done
 done

@@ -69,6 +69,25 @@ void save_run_spec(ArchiveWriter& a, const RunSpec& spec) {
   a.u64(c.fault.backoff_cap);
   a.u32(c.fault.max_retries);
   a.b(c.fault.fallback_tatas);
+  const MeshFaultConfig& m = c.fault.mesh;
+  a.b(m.enabled);
+  a.f64(m.drop_rate);
+  a.f64(m.garble_rate);
+  a.f64(m.delay_rate);
+  a.u32(m.max_delay);
+  a.f64(m.dead_rate);
+  a.u64(m.dead_horizon);
+  a.u64(m.retry_timeout);
+  a.u64(m.backoff_cap);
+  a.u32(m.max_retries);
+  a.u64(m.e2e_timeout);
+  a.u32(m.e2e_max_retries);
+  a.u32(static_cast<std::uint32_t>(m.kills.size()));
+  for (const LinkKill& k : m.kills) {
+    a.u32(k.tile);
+    a.u32(k.dir);
+    a.u64(k.at);
+  }
   a.u64(c.max_cycles);
   a.u8(static_cast<std::uint8_t>(c.engine_mode));
   a.u64(c.drain_budget);
@@ -139,6 +158,28 @@ RunSpec load_run_spec(ArchiveReader& a) {
   c.fault.backoff_cap = a.u64();
   c.fault.max_retries = a.u32();
   c.fault.fallback_tatas = a.b();
+  MeshFaultConfig& m = c.fault.mesh;
+  m.enabled = a.b();
+  m.drop_rate = a.f64();
+  m.garble_rate = a.f64();
+  m.delay_rate = a.f64();
+  m.max_delay = a.u32();
+  m.dead_rate = a.f64();
+  m.dead_horizon = a.u64();
+  m.retry_timeout = a.u64();
+  m.backoff_cap = a.u64();
+  m.max_retries = a.u32();
+  m.e2e_timeout = a.u64();
+  m.e2e_max_retries = a.u32();
+  const std::uint32_t nkills = a.u32();
+  m.kills.clear();
+  for (std::uint32_t i = 0; i < nkills; ++i) {
+    LinkKill k;
+    k.tile = a.u32();
+    k.dir = a.u32();
+    k.at = a.u64();
+    m.kills.push_back(k);
+  }
   c.max_cycles = a.u64();
   const std::uint8_t mode = a.u8();
   if (mode > static_cast<std::uint8_t>(EngineMode::kSerial)) {

@@ -14,6 +14,26 @@ bool is_pow2(std::uint32_t v) { return v != 0 && std::has_single_bit(v); }
 
 }  // namespace
 
+void MeshFaultConfig::validate() const {
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  GLOCKS_CHECK(rate_ok(drop_rate) && rate_ok(garble_rate) &&
+                   rate_ok(delay_rate) && rate_ok(dead_rate),
+               "mesh fault rates must lie in [0, 1]");
+  GLOCKS_CHECK(max_delay >= 1, "fault.mesh.max_delay must be >= 1");
+  GLOCKS_CHECK(dead_horizon >= 1, "fault.mesh.dead_horizon must be >= 1");
+  GLOCKS_CHECK(retry_timeout >= 1, "fault.mesh.retry_timeout must be >= 1");
+  GLOCKS_CHECK(max_retries >= 1, "fault.mesh.max_retries must be >= 1");
+  GLOCKS_CHECK(backoff_cap >= retry_timeout,
+               "fault.mesh.backoff_cap must be >= the retry timeout");
+  GLOCKS_CHECK(e2e_max_retries >= 1,
+               "fault.mesh.e2e_max_retries must be >= 1");
+  for (const LinkKill& k : kills) {
+    GLOCKS_CHECK(k.dir >= 1 && k.dir <= 4,
+                 "fault.mesh kill direction must be 1..4 (N/S/E/W), got "
+                     << k.dir);
+  }
+}
+
 void FaultConfig::validate() const {
   auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
   GLOCKS_CHECK(rate_ok(drop_rate) && rate_ok(garble_rate) &&
@@ -26,6 +46,7 @@ void FaultConfig::validate() const {
   GLOCKS_CHECK(max_retries >= 1, "fault.max_retries must be >= 1");
   GLOCKS_CHECK(backoff_cap >= watchdog_timeout,
                "fault.backoff_cap must be >= the watchdog timeout");
+  mesh.validate();
 }
 
 std::uint32_t CmpConfig::mesh_width() const {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -84,6 +85,54 @@ struct GlineConfig {
   std::uint32_t max_transmitters_per_line = 6;
 };
 
+/// A scripted permanent mesh-link kill for deterministic experiments:
+/// the directed link leaving `tile` through `dir` dies at cycle `at`,
+/// exactly as if the injector's stuck-at fate had fired there. `dir`
+/// uses the router direction encoding (1=N, 2=S, 3=E, 4=W).
+struct LinkKill {
+  std::uint32_t tile = 0;
+  std::uint32_t dir = 0;
+  Cycle at = 0;
+};
+
+/// Mesh-NoC fault domain (see docs/fault_model.md, "Mesh fault domain").
+/// Independent of the G-line domain: each directed router-to-router link
+/// gets a data wire and an ack wire in the injector, transfers become
+/// guarded (checksummed, stop-and-wait retransmission with bounded
+/// exponential backoff), exhausted retries kill the link permanently and
+/// routing detours around it, and the L1 MSHR layer arms end-to-end
+/// watchdogs so a request that dies in the fabric is retried and, past
+/// its budget, surfaces as a structured SimError instead of a hang.
+struct MeshFaultConfig {
+  bool enabled = false;
+
+  // ---- transient faults (per frame crossing a mesh link) ----
+  double drop_rate = 0.0;    ///< frame silently lost on the link
+  double garble_rate = 0.0;  ///< frame arrives but fails its checksum
+  double delay_rate = 0.0;   ///< frame delivered late by 1..max_delay cycles
+  std::uint32_t max_delay = 8;
+
+  // ---- permanent faults ----
+  double dead_rate = 0.0;    ///< per-directed-link chance of dying outright
+  Cycle dead_horizon = 50000;  ///< onset cycle uniform in [0, horizon)
+
+  // ---- link-level ARQ knobs ----
+  Cycle retry_timeout = 32;      ///< retransmit timer floor (cycles)
+  Cycle backoff_cap = 4096;      ///< exponential backoff ceiling
+  std::uint32_t max_retries = 8; ///< attempts before the link is declared dead
+
+  // ---- end-to-end protocol watchdog (L1 MSHR layer) ----
+  /// Request timeout before the MSHR retries; 0 derives a generous bound
+  /// from the machine geometry (worst-case round trip with margin).
+  Cycle e2e_timeout = 0;
+  std::uint32_t e2e_max_retries = 6;  ///< retries before a SimError
+
+  /// Scripted link deaths on top of (or instead of) `dead_rate`.
+  std::vector<LinkKill> kills;
+
+  void validate() const;
+};
+
 /// G-line fault-injection model (see docs/fault_model.md). The paper
 /// assumes the dedicated lock network is fault-free; this block opts a run
 /// into a deterministic, seeded fault schedule and enables the guarded
@@ -118,6 +167,16 @@ struct FaultConfig {
   /// Fallback algorithm a demoted GLock degrades to: MCS (default) or
   /// TATAS with exponential backoff.
   bool fallback_tatas = false;
+
+  /// Mesh-NoC fault domain, enabled independently of the G-line domain
+  /// (`--faults mesh:...`). `enabled` above keeps its original meaning —
+  /// the G-line domain only.
+  MeshFaultConfig mesh;
+
+  /// True when any fault domain is active (G-line or mesh). Gates the
+  /// things both domains share: seed mixing, --fault-seed, and the
+  /// "this run has fault output" checks.
+  bool any() const { return enabled || mesh.enabled; }
 
   void validate() const;
 };

@@ -69,6 +69,25 @@ std::vector<std::uint8_t> sweep_signature(const SweepSpec& spec) {
   w.u64(f.backoff_cap);
   w.u32(f.max_retries);
   w.b(f.fallback_tatas);
+  const MeshFaultConfig& m = f.mesh;
+  w.b(m.enabled);
+  w.f64(m.drop_rate);
+  w.f64(m.garble_rate);
+  w.f64(m.delay_rate);
+  w.u32(m.max_delay);
+  w.f64(m.dead_rate);
+  w.u64(m.dead_horizon);
+  w.u64(m.retry_timeout);
+  w.u64(m.backoff_cap);
+  w.u32(m.max_retries);
+  w.u64(m.e2e_timeout);
+  w.u32(m.e2e_max_retries);
+  w.u32(static_cast<std::uint32_t>(m.kills.size()));
+  for (const LinkKill& k : m.kills) {
+    w.u32(k.tile);
+    w.u32(k.dir);
+    w.u64(k.at);
+  }
   w.end_section();
   return w.buffer();
 }
@@ -80,7 +99,8 @@ void run_sweep(const SweepSpec& spec, std::ostream& os,
   const std::vector<GridPoint> grid = expand(spec);
 
   os << "cores,seed,";
-  harness::write_csv_header(os, spec.fault.enabled);
+  harness::write_csv_header(os, spec.fault.enabled,
+                            spec.fault.mesh.enabled);
   os.flush();
 
   // Rows a previous (interrupted) sweep already finished: emitted from
@@ -111,7 +131,7 @@ void run_sweep(const SweepSpec& spec, std::ostream& os,
     cfg.cmp.num_shards = spec.num_shards;
     cfg.policy.highly_contended = p.kind;
     cfg.seed = p.seed;
-    if (spec.fault.enabled) {
+    if (spec.fault.any()) {
       cfg.cmp.fault = spec.fault;
       // Each point gets its own fault schedule, replicable from the
       // (plan seed, workload seed) pair alone.
@@ -123,7 +143,8 @@ void run_sweep(const SweepSpec& spec, std::ostream& os,
     if (perf_out != nullptr) perfs[i] = r.perf;
     std::ostringstream row;
     row << p.cores << ',' << p.seed << ',';
-    harness::write_csv_row(r, row, spec.fault.enabled);
+    harness::write_csv_row(r, row, spec.fault.enabled,
+                           spec.fault.mesh.enabled);
     // Record before emit: a kill between the two costs at worst one
     // re-run on resume, never a row the resumed CSV lacks.
     if (manifest != nullptr) manifest->record(i, row.str());

@@ -198,62 +198,169 @@ std::uint64_t spec_u64(const std::string& s) {
   return v;
 }
 
+/// Parses `mesh:kill=TILE.DIR@CYCLE`, e.g. "0.e@1000".
+LinkKill spec_kill(const std::string& val) {
+  const auto dot = val.find('.');
+  const auto at = val.find('@');
+  GLOCKS_CHECK(dot != std::string::npos && at != std::string::npos &&
+                   dot > 0 && at == dot + 2 && at + 1 < val.size(),
+               "--faults: mesh:kill expects TILE.DIR@CYCLE "
+               "(DIR one of n/s/e/w), got '"
+                   << val << "'");
+  LinkKill k;
+  k.tile = static_cast<std::uint32_t>(spec_u64(val.substr(0, dot)));
+  switch (val[dot + 1]) {
+    case 'n': k.dir = 1; break;
+    case 's': k.dir = 2; break;
+    case 'e': k.dir = 3; break;
+    case 'w': k.dir = 4; break;
+    default:
+      GLOCKS_CHECK(false, "--faults: mesh:kill direction must be one of "
+                          "n/s/e/w, got '"
+                              << val[dot + 1] << "'");
+  }
+  k.at = spec_u64(val.substr(at + 1));
+  return k;
+}
+
+void apply_gline_pair(FaultConfig& cfg, const std::string& key,
+                      const std::string& val) {
+  if (key == "drop") {
+    cfg.drop_rate = spec_double(val);
+  } else if (key == "garble") {
+    cfg.garble_rate = spec_double(val);
+  } else if (key == "delay") {
+    cfg.delay_rate = spec_double(val);
+  } else if (key == "noise") {
+    cfg.noise_rate = spec_double(val);
+  } else if (key == "stuck") {
+    cfg.stuck_rate = spec_double(val);
+  } else if (key == "max_delay") {
+    cfg.max_delay = static_cast<std::uint32_t>(spec_u64(val));
+  } else if (key == "stuck_horizon") {
+    cfg.stuck_horizon = spec_u64(val);
+  } else if (key == "timeout") {
+    cfg.watchdog_timeout = spec_u64(val);
+  } else if (key == "backoff_cap") {
+    cfg.backoff_cap = spec_u64(val);
+  } else if (key == "retries") {
+    cfg.max_retries = static_cast<std::uint32_t>(spec_u64(val));
+  } else if (key == "fallback") {
+    GLOCKS_CHECK(val == "mcs" || val == "tatas",
+                 "--faults: fallback must be mcs or tatas, got " << val);
+    cfg.fallback_tatas = (val == "tatas");
+  } else {
+    GLOCKS_CHECK(false,
+                 "--faults: unknown G-line key '" << key << "' (known: "
+                 "drop, garble, delay, noise, stuck, max_delay, "
+                 "stuck_horizon, timeout, backoff_cap, retries, fallback, "
+                 "seed)");
+  }
+}
+
+void apply_mesh_pair(MeshFaultConfig& m, const std::string& key,
+                     const std::string& val) {
+  if (key == "rate") {
+    const double rate = spec_double(val);
+    GLOCKS_CHECK(rate >= 0.0 && rate <= 1.0,
+                 "--faults: mesh:rate must lie in [0, 1], got " << val);
+    m.drop_rate = m.garble_rate = m.delay_rate = rate;
+    m.dead_rate = rate / 10.0;
+  } else if (key == "drop") {
+    m.drop_rate = spec_double(val);
+  } else if (key == "garble") {
+    m.garble_rate = spec_double(val);
+  } else if (key == "delay") {
+    m.delay_rate = spec_double(val);
+  } else if (key == "max_delay") {
+    m.max_delay = static_cast<std::uint32_t>(spec_u64(val));
+  } else if (key == "dead") {
+    m.dead_rate = spec_double(val);
+  } else if (key == "dead_horizon") {
+    m.dead_horizon = spec_u64(val);
+  } else if (key == "timeout") {
+    m.retry_timeout = spec_u64(val);
+  } else if (key == "backoff_cap") {
+    m.backoff_cap = spec_u64(val);
+  } else if (key == "retries") {
+    m.max_retries = static_cast<std::uint32_t>(spec_u64(val));
+  } else if (key == "e2e_timeout") {
+    m.e2e_timeout = spec_u64(val);
+  } else if (key == "e2e_retries") {
+    m.e2e_max_retries = static_cast<std::uint32_t>(spec_u64(val));
+  } else if (key == "kill") {
+    m.kills.push_back(spec_kill(val));
+  } else {
+    GLOCKS_CHECK(false,
+                 "--faults: unknown mesh key '" << key << "' (known: rate, "
+                 "drop, garble, delay, max_delay, dead, dead_horizon, "
+                 "timeout, backoff_cap, retries, e2e_timeout, e2e_retries, "
+                 "kill, seed)");
+  }
+}
+
 }  // namespace
 
 FaultConfig parse_fault_spec(const std::string& spec) {
   FaultConfig cfg;
-  cfg.enabled = true;
   GLOCKS_CHECK(!spec.empty(), "--faults needs a rate or key=value list");
-
-  if (spec.find('=') == std::string::npos) {
-    // Bare rate: apply to each transient class; permanents are rarer.
-    const double rate = spec_double(spec);
-    GLOCKS_CHECK(rate >= 0.0 && rate <= 1.0,
-                 "--faults rate must lie in [0, 1], got " << spec);
-    cfg.drop_rate = cfg.garble_rate = cfg.delay_rate = cfg.noise_rate = rate;
-    cfg.stuck_rate = rate / 10.0;
-    return cfg;
-  }
 
   std::istringstream ss(spec);
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item.empty()) continue;
     const auto eq = item.find('=');
-    GLOCKS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+    if (eq == std::string::npos) {
+      // Bare rate: the historical shorthand. G-line domain, each
+      // transient class at the rate; permanents are rarer.
+      const double rate = spec_double(item);
+      GLOCKS_CHECK(rate >= 0.0 && rate <= 1.0,
+                   "--faults rate must lie in [0, 1], got " << item);
+      cfg.drop_rate = cfg.garble_rate = cfg.delay_rate = cfg.noise_rate =
+          rate;
+      cfg.stuck_rate = rate / 10.0;
+      cfg.enabled = true;
+      continue;
+    }
+    GLOCKS_CHECK(eq > 0 && eq + 1 < item.size(),
                  "--faults: malformed pair '" << item << "'");
-    const std::string key = item.substr(0, eq);
+    std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
-    if (key == "drop") {
-      cfg.drop_rate = spec_double(val);
-    } else if (key == "garble") {
-      cfg.garble_rate = spec_double(val);
-    } else if (key == "delay") {
-      cfg.delay_rate = spec_double(val);
-    } else if (key == "noise") {
-      cfg.noise_rate = spec_double(val);
-    } else if (key == "stuck") {
-      cfg.stuck_rate = spec_double(val);
-    } else if (key == "max_delay") {
-      cfg.max_delay = static_cast<std::uint32_t>(spec_u64(val));
-    } else if (key == "stuck_horizon") {
-      cfg.stuck_horizon = spec_u64(val);
-    } else if (key == "timeout") {
-      cfg.watchdog_timeout = spec_u64(val);
-    } else if (key == "backoff_cap") {
-      cfg.backoff_cap = spec_u64(val);
-    } else if (key == "retries") {
-      cfg.max_retries = static_cast<std::uint32_t>(spec_u64(val));
-    } else if (key == "seed") {
+
+    // Optional domain prefix. Unprefixed keys keep their original G-line
+    // meaning so every pre-mesh spec parses unchanged.
+    std::string domain = "gline";
+    bool prefixed = false;
+    if (const auto colon = key.find(':'); colon != std::string::npos) {
+      domain = key.substr(0, colon);
+      key = key.substr(colon + 1);
+      prefixed = true;
+      GLOCKS_CHECK(domain == "gline" || domain == "mesh",
+                   "--faults: unknown domain '" << domain
+                       << "' (known: gline, mesh)");
+      GLOCKS_CHECK(!key.empty(),
+                   "--faults: malformed pair '" << item << "'");
+    }
+
+    if (key == "seed") {
+      // One injector seed feeds both domains (each mixes in its own
+      // salt), so `seed` is shared under any spelling — a prefixed
+      // spelling does not by itself enable its domain.
       cfg.seed = spec_u64(val);
-    } else if (key == "fallback") {
-      GLOCKS_CHECK(val == "mcs" || val == "tatas",
-                   "--faults: fallback must be mcs or tatas, got " << val);
-      cfg.fallback_tatas = (val == "tatas");
+      if (!prefixed) cfg.enabled = true;
+      continue;
+    }
+    if (domain == "mesh") {
+      apply_mesh_pair(cfg.mesh, key, val);
+      cfg.mesh.enabled = true;
     } else {
-      GLOCKS_CHECK(false, "--faults: unknown key '" << key << "'");
+      apply_gline_pair(cfg, key, val);
+      cfg.enabled = true;
     }
   }
+  GLOCKS_CHECK(cfg.any(),
+               "--faults: the spec enables no fault domain (give a rate, "
+               "an unprefixed/gline: key, or a mesh: key)");
   cfg.validate();
   return cfg;
 }
@@ -285,6 +392,35 @@ std::string summary(const FaultStats& s) {
   return oss.str();
 }
 
+std::string mesh_summary(const FaultStats& s) {
+  std::ostringstream oss;
+  oss << "  mesh faults injected  " << s.injected_total();
+  bool first = true;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (s.injected[k] == 0) continue;
+    oss << (first ? " (" : ", ") << to_string(static_cast<FaultKind>(k))
+        << " " << s.injected[k];
+    first = false;
+  }
+  if (!first) oss << ")";
+  oss << "\n"
+      << "  detected / tolerated  " << s.detected << " / " << s.tolerated
+      << "\n"
+      << "  retransmissions       " << s.retransmissions << " ("
+      << s.spurious_retransmissions << " spurious), watchdog fires "
+      << s.watchdog_timeouts << "\n"
+      << "  rx discards           " << s.rx_discards << ", duplicates "
+      << s.duplicate_frames << "\n"
+      << "  dead links            " << s.link_failures
+      << ", detoured forwards " << s.reroutes << "\n"
+      << "  e2e watchdog          " << s.e2e_timeouts << " fires, "
+      << s.e2e_retries << " request retries, " << s.e2e_dup_drops
+      << " duplicates filtered\n"
+      << "  mean detect latency   " << s.mean_detection_latency()
+      << " cycles over " << s.detection_count << " detections\n";
+  return oss.str();
+}
+
 // ---- checkpoint ----
 
 void save_fault_stats(ckpt::ArchiveWriter& a, const FaultStats& s) {
@@ -300,6 +436,10 @@ void save_fault_stats(ckpt::ArchiveWriter& a, const FaultStats& s) {
   a.u64(s.link_failures);
   a.u64(s.fallback_demotions);
   a.u64(s.fallback_acquires);
+  a.u64(s.reroutes);
+  a.u64(s.e2e_timeouts);
+  a.u64(s.e2e_retries);
+  a.u64(s.e2e_dup_drops);
   a.u64(s.detection_latency_sum);
   a.u64(s.detection_count);
   a.u32(s.detection_latency.max_bin());
@@ -321,6 +461,10 @@ void load_fault_stats(ckpt::ArchiveReader& a, FaultStats& s) {
   s.link_failures = a.u64();
   s.fallback_demotions = a.u64();
   s.fallback_acquires = a.u64();
+  s.reroutes = a.u64();
+  s.e2e_timeouts = a.u64();
+  s.e2e_retries = a.u64();
+  s.e2e_dup_drops = a.u64();
   s.detection_latency_sum = a.u64();
   s.detection_count = a.u64();
   const std::uint32_t bins = a.u32();

@@ -77,6 +77,12 @@ struct FaultStats {
   std::uint64_t fallback_demotions = 0;       ///< GLocks demoted
   std::uint64_t fallback_acquires = 0;        ///< acquires served by SW
 
+  // ---- mesh-domain extras (zero in G-line-only runs) ----
+  std::uint64_t reroutes = 0;       ///< forwards taken off the XY route
+  std::uint64_t e2e_timeouts = 0;   ///< MSHR end-to-end watchdog fires
+  std::uint64_t e2e_retries = 0;    ///< coherence requests re-issued
+  std::uint64_t e2e_dup_drops = 0;  ///< duplicate requests the dir filtered
+
   std::uint64_t detection_latency_sum = 0;
   std::uint64_t detection_count = 0;
   Histogram detection_latency{kLatencyBuckets};
@@ -184,15 +190,31 @@ class FaultInjector {
   bool finalized_ = false;
 };
 
-/// Parses a --faults specification: either a bare rate ("0.01", applied
-/// to drops, garbles, delays and noise, with stuck_rate = rate / 10) or a
-/// comma list of key=value pairs (drop, garble, delay, noise, stuck,
-/// max_delay, stuck_horizon, timeout, backoff_cap, retries, seed,
-/// fallback=mcs|tatas). Returns a config with enabled = true. Throws
-/// SimError on malformed input.
+/// Parses a --faults specification. Three forms, combinable in one
+/// comma list:
+///   * a bare rate ("0.01") — the historical shorthand; applies to the
+///     G-line domain's four transient kinds with stuck = rate / 10;
+///   * unprefixed key=value pairs (drop, garble, delay, noise, stuck,
+///     max_delay, stuck_horizon, timeout, backoff_cap, retries, seed,
+///     fallback=mcs|tatas) — also the G-line domain, unchanged from the
+///     original grammar;
+///   * domain-prefixed pairs: `gline:KEY=V` (same keys as above) and
+///     `mesh:KEY=V` with keys rate (shorthand: drop=garble=delay=rate,
+///     dead=rate/10), drop, garble, delay, max_delay, dead, dead_horizon,
+///     timeout, backoff_cap, retries, e2e_timeout, e2e_retries, and
+///     kill=TILE.DIR@CYCLE (DIR in n/s/e/w; repeatable) which schedules a
+///     deterministic permanent link death. `seed` is shared by both
+///     domains under any spelling.
+/// A domain is enabled iff the spec names it (bare rates and unprefixed
+/// keys name the G-line domain, preserving backward compatibility).
+/// Throws SimError naming the offending token on malformed input.
 FaultConfig parse_fault_spec(const std::string& spec);
 
 /// Human-readable one-paragraph summary for reports.
 std::string summary(const FaultStats& s);
+
+/// Mesh-domain flavour of summary(): same ledger lines, mesh wording
+/// (dead links instead of demotions, detour/e2e counters).
+std::string mesh_summary(const FaultStats& s);
 
 }  // namespace glocks::fault

@@ -59,6 +59,27 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
     c->set_finish_listener([this] { ++finished_count_; });
   }
   engine_.set_hang_reporter([this] { return hang_report(); });
+  if (cfg_.fault.mesh.enabled) {
+    mesh_.enable_fault_domain(cfg_.fault);
+    // End-to-end protocol watchdogs at every L1 MSHR. The default
+    // timeout is derived from the machine: a worst-case healthy
+    // transaction (request + forward + data across the diameter, one
+    // memory fetch) plus ARQ stall slack, so it only fires on real
+    // pathology — a link dying mid-flight or a partition.
+    Cycle e2e = cfg_.fault.mesh.e2e_timeout;
+    if (e2e == 0) {
+      const Cycle hop = cfg_.noc.router_latency + cfg_.noc.link_latency;
+      const Cycle diameter =
+          (cfg_.mesh_width() + cfg_.mesh_height()) * hop;
+      e2e = 8 * diameter + 2 * cfg_.memory_latency +
+            4 * static_cast<Cycle>(cfg_.fault.mesh.backoff_cap);
+    }
+    for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+      hierarchy_.l1(c).set_e2e_watchdog(
+          e2e, cfg_.fault.mesh.e2e_max_retries,
+          [this] { return mesh_.fault_context(); });
+    }
+  }
   set_shards(cfg_.num_shards);
 }
 
@@ -152,6 +173,16 @@ std::string CmpSystem::hang_report() const {
     oss << "]\n";
   }
   oss << "G-line lock units:\n" << glines_->debug_dump();
+  oss << "L1 MSHRs:\n";
+  bool any_mshr = false;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    const std::string d = hierarchy_.l1(c).mshr_dump();
+    if (d.empty()) continue;
+    any_mshr = true;
+    oss << "  core " << c << ": " << d << "\n";
+  }
+  if (!any_mshr) oss << "  (all idle)\n";
+  oss << "mesh:\n" << mesh_.debug_dump();
   return oss.str();
 }
 

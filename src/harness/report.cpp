@@ -49,6 +49,9 @@ std::string summary_text(const RunResult& r) {
   if (r.fault.enabled) {
     os << fault::summary(r.fault);
   }
+  if (r.mesh_fault.enabled) {
+    os << fault::mesh_summary(r.mesh_fault);
+  }
   os << "  locks:\n";
   for (const auto& lc : r.lock_census) {
     const double hc = lc.census.fraction(lc.census.max_bin() * 2 / 3 + 1,
@@ -60,7 +63,8 @@ std::string summary_text(const RunResult& r) {
   return os.str();
 }
 
-void write_csv_header(std::ostream& os, bool with_faults) {
+void write_csv_header(std::ostream& os, bool with_faults,
+                      bool with_mesh_faults) {
   os << "workload,hc_lock,cycles,busy,memory,lock,barrier,uops,"
         "traffic_bytes,coherence_bytes,request_bytes,reply_bytes,"
         "l1_accesses,l1_misses,invalidations,forwards,memory_fetches,"
@@ -70,10 +74,17 @@ void write_csv_header(std::ostream& os, bool with_faults) {
           "retransmissions,watchdog_timeouts,rx_discards,link_failures,"
           "fallback_demotions,fallback_acquires,mean_detect_latency";
   }
+  if (with_mesh_faults) {
+    os << ",mesh_injected,mesh_detected,mesh_tolerated,"
+          "mesh_retransmissions,mesh_watchdog_timeouts,mesh_rx_discards,"
+          "mesh_dead_links,mesh_reroutes,e2e_timeouts,e2e_retries,"
+          "e2e_dup_drops";
+  }
   os << "\n";
 }
 
-void write_csv_row(const RunResult& r, std::ostream& os, bool with_faults) {
+void write_csv_row(const RunResult& r, std::ostream& os, bool with_faults,
+                   bool with_mesh_faults) {
   os << r.workload << ',' << r.hc_lock_kind << ',' << r.cycles << ','
      << r.busy_fraction() << ',' << r.memory_fraction() << ','
      << r.lock_fraction() << ',' << r.barrier_fraction() << ',' << r.uops
@@ -92,6 +103,16 @@ void write_csv_row(const RunResult& r, std::ostream& os, bool with_faults) {
        << r.fault.link_failures << ',' << r.fault.fallback_demotions << ','
        << r.fault.fallback_acquires << ','
        << r.fault.mean_detection_latency();
+  }
+  if (with_mesh_faults) {
+    os << ',' << r.mesh_fault.injected_total() << ','
+       << r.mesh_fault.detected << ',' << r.mesh_fault.tolerated << ','
+       << r.mesh_fault.retransmissions << ','
+       << r.mesh_fault.watchdog_timeouts << ','
+       << r.mesh_fault.rx_discards << ',' << r.mesh_fault.link_failures
+       << ',' << r.mesh_fault.reroutes << ',' << r.mesh_fault.e2e_timeouts
+       << ',' << r.mesh_fault.e2e_retries << ','
+       << r.mesh_fault.e2e_dup_drops;
   }
   os << "\n";
 }
@@ -140,6 +161,23 @@ void write_json(const RunResult& r, std::ostream& os) {
       os << r.fault.detection_latency.count(b);
     }
     os << "]}";
+  }
+  if (r.mesh_fault.enabled) {
+    os << ",\n  \"mesh_fault\": {\"injected\": "
+       << r.mesh_fault.injected_total()
+       << ", \"detected\": " << r.mesh_fault.detected
+       << ", \"tolerated\": " << r.mesh_fault.tolerated
+       << ", \"retransmissions\": " << r.mesh_fault.retransmissions
+       << ", \"watchdog_timeouts\": " << r.mesh_fault.watchdog_timeouts
+       << ", \"rx_discards\": " << r.mesh_fault.rx_discards
+       << ", \"duplicate_frames\": " << r.mesh_fault.duplicate_frames
+       << ", \"dead_links\": " << r.mesh_fault.link_failures
+       << ", \"reroutes\": " << r.mesh_fault.reroutes
+       << ", \"e2e_timeouts\": " << r.mesh_fault.e2e_timeouts
+       << ", \"e2e_retries\": " << r.mesh_fault.e2e_retries
+       << ", \"e2e_dup_drops\": " << r.mesh_fault.e2e_dup_drops
+       << ", \"mean_detect_latency\": "
+       << r.mesh_fault.mean_detection_latency() << "}";
   }
   os << ",\n  \"locks\": [";
   bool first = true;

@@ -13,12 +13,14 @@ namespace glocks::harness {
 std::string summary_text(const RunResult& r);
 
 /// Flat CSV: one header, one row per run (for spreadsheets / plotting).
-/// `with_faults` appends the fault/recovery columns; it must match
-/// between header and rows. Defaulting it off keeps clean-run output
+/// `with_faults` appends the G-line fault/recovery columns and
+/// `with_mesh_faults` the mesh fault-domain columns; each must match
+/// between header and rows. Defaulting them off keeps clean-run output
 /// byte-identical to the pre-fault-subsystem format.
-void write_csv_header(std::ostream& os, bool with_faults = false);
+void write_csv_header(std::ostream& os, bool with_faults = false,
+                      bool with_mesh_faults = false);
 void write_csv_row(const RunResult& r, std::ostream& os,
-                   bool with_faults = false);
+                   bool with_faults = false, bool with_mesh_faults = false);
 
 /// Full JSON document including the per-lock census histograms.
 void write_json(const RunResult& r, std::ostream& os);

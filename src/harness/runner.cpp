@@ -80,6 +80,15 @@ RunResult run_workload(Workload& workload, const RunConfig& cfg,
   r.dir = sys.hierarchy().total_dir_stats();
   r.gline = sys.glines().total_stats();
   r.fault = sys.glines().finalize_fault_stats();
+  if (sys.mesh().fault_domain_enabled()) {
+    r.mesh_fault = sys.mesh().finalize_fault_stats();
+    for (CoreId c = 0; c < sys.num_cores(); ++c) {
+      const auto& e = sys.hierarchy().l1(c).e2e_stats();
+      r.mesh_fault.e2e_timeouts += e.timeouts;
+      r.mesh_fault.e2e_retries += e.retries;
+    }
+    r.mesh_fault.e2e_dup_drops = r.dir.dup_requests;
+  }
 
   const auto& census = sys.census();
   for (std::size_t i = 0; i < census.num_locks(); ++i) {

@@ -51,6 +51,11 @@ struct RunResult {
   /// runs so baseline reports stay byte-identical.
   fault::FaultStats fault;
 
+  /// Mesh fault-domain accounting (link-level ARQ, dead links, detours,
+  /// end-to-end MSHR watchdogs); same all-zero convention. The e2e_*
+  /// counters are folded in from the L1s and directories by the runner.
+  fault::FaultStats mesh_fault;
+
   /// Simulator self-measurement (wall time, kernel tick/skip counters).
   /// Reported only behind --perf so default reports stay byte-identical;
   /// deliberately excluded from the determinism diff — wall time varies.

@@ -17,7 +17,8 @@ DirSlice::DirSlice(CoreId tile, std::uint32_t num_cores, const L2Config& cfg,
       memory_(memory),
       engine_(engine),
       num_sets_(cfg.num_sets()),
-      l2_sets_(num_sets_, std::vector<L2Entry>(cfg.ways)) {}
+      l2_sets_(num_sets_, std::vector<L2Entry>(cfg.ways)),
+      last_done_(num_cores, 0) {}
 
 DirSlice::DirEntry& DirSlice::entry(Addr line) {
   auto [it, inserted] = dir_.try_emplace(line);
@@ -118,6 +119,21 @@ void DirSlice::deliver(CohMsgPtr msg, Cycle ready) {
   wake_at(inbox_.back().ready);
 }
 
+bool DirSlice::is_duplicate_request(const CohMsg& m) const {
+  if (last_done_[m.sender] == m.req_id) return true;  // already granted
+  if (auto it = txns_.find(m.line);
+      it != txns_.end() && it->second.requester == m.sender &&
+      it->second.req_id == m.req_id) {
+    return true;  // the original is the active transaction on the line
+  }
+  if (auto it = deferred_.find(m.line); it != deferred_.end()) {
+    for (const CohMsgPtr& d : it->second) {
+      if (d->sender == m.sender && d->req_id == m.req_id) return true;
+    }
+  }
+  return false;
+}
+
 void DirSlice::start_request(CohMsgPtr msg, Cycle now) {
   const Addr line = msg->line;
   const CoreId req = msg->sender;
@@ -125,6 +141,7 @@ void DirSlice::start_request(CohMsgPtr msg, Cycle now) {
   Txn txn;
   txn.type = msg->type;
   txn.requester = req;
+  txn.req_id = msg->req_id;
 
   // A request from the line's recorded owner means its PutM is still in
   // flight (requests and writebacks ride different virtual channels, so
@@ -245,6 +262,10 @@ void DirSlice::finish_read_phase(Addr line, Txn& txn, Cycle now) {
 }
 
 void DirSlice::complete_txn(Addr line, Cycle now) {
+  if (auto it = txns_.find(line);
+      it != txns_.end() && it->second.req_id != 0) {
+    last_done_[it->second.requester] = it->second.req_id;
+  }
   txns_.erase(line);
   // Replay deferred work until a new transaction occupies the line or
   // nothing progresses. A replayed request from the line's recorded
@@ -275,6 +296,12 @@ void DirSlice::handle_msg(CohMsgPtr msg, Cycle now) {
     case CohType::kGetS:
     case CohType::kGetX:
     case CohType::kUpgrade: {
+      if (msg->req_id != 0 && is_duplicate_request(*msg)) {
+        // A watchdog re-issue raced its own original: exactly one copy
+        // of each (requester, id) is admitted, the rest are dropped.
+        ++stats_.dup_requests;
+        return;
+      }
       if (txns_.count(line) != 0) {
         ++stats_.deferred_requests;
         deferred_[line].push_back(std::move(msg));
@@ -421,6 +448,7 @@ void DirSlice::save(ckpt::ArchiveWriter& a) const {
     a.u32(t.pending_acks);
     a.u64(t.wake_at);
     a.b(t.requester_had_copy);
+    a.u64(t.req_id);
   }
   a.u64(deferred_.size());
   for (Addr line : sorted_keys(deferred_)) {
@@ -451,6 +479,8 @@ void DirSlice::save(ckpt::ArchiveWriter& a) const {
   a.u64(stats_.memory_fetches);
   a.u64(stats_.memory_writebacks);
   a.u64(stats_.deferred_requests);
+  a.u64(stats_.dup_requests);
+  for (std::uint64_t v : last_done_) a.u64(v);
 }
 
 void DirSlice::load(ckpt::ArchiveReader& a) {
@@ -487,6 +517,7 @@ void DirSlice::load(ckpt::ArchiveReader& a) {
     t.pending_acks = a.u32();
     t.wake_at = a.u64();
     t.requester_had_copy = a.b();
+    t.req_id = a.u64();
     txns_[line] = t;
   }
   deferred_.clear();
@@ -527,6 +558,8 @@ void DirSlice::load(ckpt::ArchiveReader& a) {
   stats_.memory_fetches = a.u64();
   stats_.memory_writebacks = a.u64();
   stats_.deferred_requests = a.u64();
+  stats_.dup_requests = a.u64();
+  for (std::uint64_t& v : last_done_) v = a.u64();
 }
 
 }  // namespace glocks::mem

@@ -42,6 +42,9 @@ struct DirStats {
   std::uint64_t memory_fetches = 0;
   std::uint64_t memory_writebacks = 0;
   std::uint64_t deferred_requests = 0;
+  /// Duplicate end-to-end retries dropped (mesh fault-domain runs: a
+  /// watchdog re-issue whose original was still alive at the home).
+  std::uint64_t dup_requests = 0;
   std::uint64_t l2_accesses() const { return l2_hits + l2_misses; }
 };
 
@@ -111,6 +114,7 @@ class DirSlice final : public sim::Component {
     std::uint32_t pending_acks = 0;
     Cycle wake_at = kNoCycle;
     bool requester_had_copy = false;  ///< Upgrade fast path applies
+    std::uint64_t req_id = 0;  ///< end-to-end request id (0 = untagged)
   };
 
   struct Inbox {
@@ -126,6 +130,9 @@ class DirSlice final : public sim::Component {
   std::pair<Cycle, LineData> read_line_data(Addr line, Cycle now);
 
   void handle_msg(CohMsgPtr msg, Cycle now);
+  /// True when a tagged request is a watchdog re-issue whose original is
+  /// still alive here (active txn, deferred copy, or already granted).
+  bool is_duplicate_request(const CohMsg& m) const;
   void start_request(CohMsgPtr msg, Cycle now);
   void finish_read_phase(Addr line, Txn& txn, Cycle now);
   void after_inv_acks(Addr line, Txn& txn, Cycle now);
@@ -148,6 +155,9 @@ class DirSlice final : public sim::Component {
   std::deque<Inbox> inbox_;
   /// Data reads in flight: line -> data to hand to the txn at wake time.
   std::unordered_map<Addr, LineData> read_buf_;
+  /// Last completed tagged request id per requester (e2e retry dedup; a
+  /// core's single MSHR means one outstanding id, so one slot suffices).
+  std::vector<std::uint64_t> last_done_;
   DirStats stats_;
 };
 

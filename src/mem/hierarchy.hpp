@@ -28,6 +28,7 @@ class Hierarchy final : public Transport {
   Hierarchy(const CmpConfig& cfg, noc::Mesh& mesh, sim::Engine& engine);
 
   L1Cache& l1(CoreId core) { return *l1s_[core]; }
+  const L1Cache& l1(CoreId core) const { return *l1s_[core]; }
   DirSlice& dir(CoreId tile) { return *dirs_[tile]; }
   SyncBuffer& sync_buffer(CoreId tile) { return *sbs_[tile]; }
   QolbHome& qolb_home(CoreId tile) { return *qolbs_[tile]; }

@@ -1,6 +1,7 @@
 #include "mem/l1_cache.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hpp"
 
@@ -45,6 +46,25 @@ const LineData* L1Cache::probe_owned_data(Addr line) const {
   return nullptr;
 }
 
+std::string L1Cache::mshr_dump() const {
+  if (!pending_.has_value()) return {};
+  const Pending& p = *pending_;
+  std::ostringstream oss;
+  switch (p.op.type) {
+    case MemOp::Type::kLoad: oss << "load"; break;
+    case MemOp::Type::kStore: oss << "store"; break;
+    case MemOp::Type::kAmo: oss << "amo"; break;
+  }
+  oss << " addr=" << p.op.addr
+      << (p.request_sent ? (p.sent_upgrade ? " upgrade-sent" : " miss-sent")
+                         : " in-lookup");
+  if (p.e2e_deadline != kNoCycle) {
+    oss << " req=" << p.req_id << " e2e_retries=" << p.e2e_retries
+        << " deadline=" << p.e2e_deadline;
+  }
+  return oss.str();
+}
+
 void L1Cache::issue(const MemOp& op, Callback done) {
   GLOCKS_CHECK(!pending_.has_value(),
                "core " << core_ << " issued with an op already in flight");
@@ -55,9 +75,11 @@ void L1Cache::issue(const MemOp& op, Callback done) {
     case MemOp::Type::kStore: ++stats_.stores; break;
     case MemOp::Type::kAmo: ++stats_.amos; break;
   }
-  pending_ = Pending{op, std::move(done),
-                     engine_.now() + cfg_.access_latency, false, false,
-                     false};
+  Pending p;
+  p.op = op;
+  p.done = std::move(done);
+  p.lookup_ready = engine_.now() + cfg_.access_latency;
+  pending_ = std::move(p);
   wake_at(pending_->lookup_ready);
 }
 
@@ -66,15 +88,59 @@ void L1Cache::deliver(CohMsgPtr msg, Cycle ready) {
   wake_at(ready);
 }
 
+void L1Cache::set_e2e_watchdog(Cycle timeout, std::uint32_t max_retries,
+                               std::function<std::string()> context) {
+  GLOCKS_CHECK(timeout > 0, "e2e watchdog timeout must be positive");
+  e2e_timeout_ = timeout;
+  e2e_max_retries_ = max_retries;
+  e2e_context_ = std::move(context);
+}
+
 void L1Cache::send_to_home(Addr line, CohType type, const LineData* data,
-                           CoreId requester) {
+                           CoreId requester, std::uint64_t req_id) {
   CohMsgPtr msg = transport_.make_msg();
   msg->type = type;
   msg->line = line;
   msg->sender = core_;
   msg->requester = requester == kNoCore ? core_ : requester;
+  msg->req_id = req_id;
   if (data != nullptr) msg->data = *data;
   transport_.send(core_, amap_.home_of_line(line), std::move(msg));
+}
+
+void L1Cache::arm_e2e_deadline(Cycle now) {
+  if (e2e_timeout_ == 0) return;
+  const Addr line = line_of(pending_->op.addr);
+  if (amap_.home_of_line(line) == core_) return;  // same-tile bypass
+  // The deadline grows exponentially per re-issue so retries back off
+  // instead of hammering a congested detour path.
+  const std::uint32_t shift =
+      std::min<std::uint32_t>(pending_->e2e_retries, 10);
+  pending_->e2e_deadline = now + (e2e_timeout_ << shift);
+  wake_at(pending_->e2e_deadline);
+}
+
+void L1Cache::fire_e2e_watchdog(Cycle now) {
+  Pending& p = *pending_;
+  ++e2e_.timeouts;
+  const Addr line = line_of(p.op.addr);
+  const CohType type = p.sent_upgrade ? CohType::kUpgrade
+                       : p.op.type != MemOp::Type::kLoad ? CohType::kGetX
+                                                         : CohType::kGetS;
+  GLOCKS_CHECK(p.e2e_retries < e2e_max_retries_,
+               "core " << core_ << ": end-to-end retry budget exhausted ("
+                       << e2e_max_retries_ << " retries) waiting on "
+                       << to_string(type) << " for line " << line
+                       << " (home tile " << amap_.home_of_line(line)
+                       << ", req " << p.req_id << "); dead mesh links: "
+                       << (e2e_context_ ? e2e_context_()
+                                        : std::string("unknown")));
+  ++p.e2e_retries;
+  ++e2e_.retries;
+  // Same req_id as the original: the home admits exactly one copy of
+  // (requester, id), so whichever of the two loses the race is dropped.
+  send_to_home(line, type, nullptr, kNoCore, p.req_id);
+  arm_e2e_deadline(now);
 }
 
 Word L1Cache::apply_amo(LineData& data, std::uint32_t word_idx,
@@ -289,6 +355,14 @@ void L1Cache::tick(Cycle now) {
     handle_msg(*msg, now);
   }
 
+  // End-to-end protocol watchdog (mesh fault-domain runs): a remote
+  // request whose response is overdue is re-issued or escalated. Checked
+  // after the inbox drain so a response arriving this very cycle wins.
+  if (pending_ && pending_->e2e_deadline != kNoCycle &&
+      now >= pending_->e2e_deadline) {
+    fire_e2e_watchdog(now);
+  }
+
   // Unconditional dormancy is safe here: every deferred continuation has
   // a wake already armed — issue() at lookup_ready, deliver() at each
   // inbox entry's ready cycle — and a blocked front entry re-arms via
@@ -309,14 +383,18 @@ void L1Cache::tick(Cycle now) {
   }
   ++stats_.misses;
   pending_->request_sent = true;
+  if (e2e_timeout_ != 0) pending_->req_id = ++op_seq_;
   if (e != nullptr) {
     // Write hit on a Shared copy: ask for exclusivity, keep the data.
     ++stats_.upgrades;
     pending_->sent_upgrade = true;
-    send_to_home(line, CohType::kUpgrade);
+    send_to_home(line, CohType::kUpgrade, nullptr, kNoCore,
+                 pending_->req_id);
   } else {
-    send_to_home(line, is_write ? CohType::kGetX : CohType::kGetS);
+    send_to_home(line, is_write ? CohType::kGetX : CohType::kGetS, nullptr,
+                 kNoCore, pending_->req_id);
   }
+  arm_e2e_deadline(now);
   sleep();  // the home's response (via deliver) wakes us
 }
 
@@ -346,6 +424,9 @@ void L1Cache::save(ckpt::ArchiveWriter& a) const {
     a.b(p.fill_invalidate);
     a.b(p.pending_fwd != nullptr);
     if (p.pending_fwd != nullptr) save_coh_msg(a, *p.pending_fwd);
+    a.u64(p.req_id);
+    a.u64(p.e2e_deadline);
+    a.u32(p.e2e_retries);
   }
   a.u64(wb_buffer_.size());
   for (const WbEntry& wb : wb_buffer_) {
@@ -366,6 +447,9 @@ void L1Cache::save(ckpt::ArchiveWriter& a) const {
   a.u64(stats_.writebacks);
   a.u64(stats_.invalidations_received);
   a.u64(stats_.forwards_served);
+  a.u64(op_seq_);
+  a.u64(e2e_.timeouts);
+  a.u64(e2e_.retries);
 }
 
 void L1Cache::load(ckpt::ArchiveReader& a) {
@@ -392,6 +476,9 @@ void L1Cache::load(ckpt::ArchiveReader& a) {
     p.upgrade_invalidated = a.b();
     p.fill_invalidate = a.b();
     if (a.b()) p.pending_fwd = transport_.make_msg(load_coh_msg(a));
+    p.req_id = a.u64();
+    p.e2e_deadline = a.u64();
+    p.e2e_retries = a.u32();
     // p.done stays empty: the retire callback closes over a coroutine
     // frame and is re-established by the replay path, never by load.
     pending_ = std::move(p);
@@ -421,6 +508,9 @@ void L1Cache::load(ckpt::ArchiveReader& a) {
   stats_.writebacks = a.u64();
   stats_.invalidations_received = a.u64();
   stats_.forwards_served = a.u64();
+  op_seq_ = a.u64();
+  e2e_.timeouts = a.u64();
+  e2e_.retries = a.u64();
 }
 
 }  // namespace glocks::mem

@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -54,6 +55,13 @@ struct MemOp {
   Word value = 0;      ///< store value / AMO operand
   Word expected = 0;   ///< CAS comparand
   AmoKind amo = AmoKind::kTestAndSet;
+};
+
+/// End-to-end watchdog counters (mesh fault-domain runs only; both stay
+/// zero in faults-off runs and are reported through the mesh fault block).
+struct E2eStats {
+  std::uint64_t timeouts = 0;  ///< armed deadlines that fired
+  std::uint64_t retries = 0;   ///< requests re-issued after a timeout
 };
 
 struct L1Stats {
@@ -105,8 +113,23 @@ class L1Cache final : public sim::Component {
 
   const L1Stats& stats() const { return stats_; }
 
+  /// Arms the end-to-end request watchdog (mesh fault-domain runs): a
+  /// remote-home request unanswered after `timeout` cycles is re-issued
+  /// with the same request id — the home admits exactly one copy per
+  /// (requester, id), so the retry and the original cannot both take
+  /// effect — and after `max_retries` re-issues the op fails with a
+  /// structured SimError naming the requester, line, home, and (via
+  /// `context`, the mesh's dead-link report) the likely culprit.
+  void set_e2e_watchdog(Cycle timeout, std::uint32_t max_retries,
+                        std::function<std::string()> context);
+  const E2eStats& e2e_stats() const { return e2e_; }
+
   /// Test hook: current MESI state of a line ('M','E','S','I').
   char probe_state(Addr line) const;
+
+  /// One-line MSHR description for hang reports ("" when idle): the
+  /// pending op and, when the e2e watchdog is armed, its retry state.
+  std::string mshr_dump() const;
 
   /// Returns the line's data iff this L1 owns it (M/E), else nullptr.
   /// Used by coherent post-run verification, not by the timing model.
@@ -142,6 +165,12 @@ class L1Cache final : public sim::Component {
     /// A forward overtook our exclusive-data grant: serve it right after
     /// the fill completes. At most one (the home blocks per line).
     CohMsgPtr pending_fwd;
+    /// End-to-end watchdog state (mesh fault-domain runs): the unique id
+    /// stamped on the request, the deadline armed when it went to a
+    /// remote home (kNoCycle = unarmed), and re-issues so far.
+    std::uint64_t req_id = 0;
+    Cycle e2e_deadline = kNoCycle;
+    std::uint32_t e2e_retries = 0;
   };
 
   struct WbEntry {
@@ -160,8 +189,15 @@ class L1Cache final : public sim::Component {
   void install(Addr line, const LineData& data, LineState st, Cycle now);
   void complete_with_line(Entry& e, Cycle now);
   void send_to_home(Addr line, CohType type, const LineData* data = nullptr,
-                    CoreId requester = kNoCore);
+                    CoreId requester = kNoCore, std::uint64_t req_id = 0);
   void handle_msg(CohMsg& msg, Cycle now);
+  /// Arms (or re-arms) the pending request's end-to-end deadline; no-op
+  /// when the watchdog is off or the home is this tile (same-tile bypass
+  /// traffic never crosses the mesh).
+  void arm_e2e_deadline(Cycle now);
+  /// The deadline fired: re-issue the request or, with the retry budget
+  /// exhausted, throw the structured SimError.
+  void fire_e2e_watchdog(Cycle now);
   Word apply_amo(LineData& data, std::uint32_t word_idx, const MemOp& op);
 
   CoreId core_;
@@ -175,6 +211,12 @@ class L1Cache final : public sim::Component {
   std::deque<WbEntry> wb_buffer_;
   std::deque<Inbox> inbox_;
   L1Stats stats_;
+  /// End-to-end watchdog configuration (timeout 0 = disabled) and state.
+  Cycle e2e_timeout_ = 0;
+  std::uint32_t e2e_max_retries_ = 0;
+  std::function<std::string()> e2e_context_;
+  std::uint64_t op_seq_ = 0;  ///< request-id source (monotonic per core)
+  E2eStats e2e_;
 };
 
 }  // namespace glocks::mem

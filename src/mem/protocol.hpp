@@ -126,6 +126,11 @@ struct CohMsg final {
   CoreId sender = 0;      ///< tile that created this message
   CoreId requester = 0;   ///< original requester (for forwards / C2C)
   bool exclusive = false; ///< Data grant flavour: true = E/M, false = S
+  /// Per-requester operation number stamped on GetS/GetX/Upgrade. Lets
+  /// the home directory drop the stale duplicate when an end-to-end
+  /// watchdog retry races its own original (mesh fault domain); 0 for
+  /// every other message type and in faults-off runs.
+  std::uint64_t req_id = 0;
   LineData data{};        ///< valid iff carries_data(type)
 };
 
@@ -144,6 +149,7 @@ inline void save_coh_msg(ckpt::ArchiveWriter& a, const CohMsg& m) {
   a.u32(m.sender);
   a.u32(m.requester);
   a.b(m.exclusive);
+  a.u64(m.req_id);
   for (Word w : m.data) a.u64(w);
 }
 
@@ -154,6 +160,7 @@ inline CohMsg load_coh_msg(ckpt::ArchiveReader& a) {
   m.sender = a.u32();
   m.requester = a.u32();
   m.exclusive = a.b();
+  m.req_id = a.u64();
   for (Word& w : m.data) w = a.u64();
   return m;
 }

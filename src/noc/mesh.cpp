@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <sstream>
 
 #include "ckpt/archive.hpp"
 #include "common/check.hpp"
+#include "noc/fault_domain.hpp"
 
 namespace glocks::noc {
 
@@ -31,6 +33,43 @@ Mesh::Mesh(std::uint32_t num_tiles, std::uint32_t width, NocConfig cfg)
     if (t + width_ < num_tiles) r.connect(Dir::kSouth, *routers_[t + width_]);
     if (y > 0) r.connect(Dir::kNorth, *routers_[t - width_]);
   }
+}
+
+Mesh::~Mesh() = default;
+
+void Mesh::enable_fault_domain(const FaultConfig& cfg) {
+  GLOCKS_CHECK(cfg.mesh.enabled, "mesh fault domain enabled without config");
+  GLOCKS_CHECK(fault_ == nullptr, "mesh fault domain enabled twice");
+  GLOCKS_CHECK(last_tick_ == kNoCycle && in_flight_ == 0,
+               "mesh fault domain must be armed before the first tick");
+  fault_ = std::make_unique<MeshFaultDomain>(cfg.mesh, cfg.seed, cfg_,
+                                             num_tiles(), width_, routers_,
+                                             stats_);
+  for (auto& r : routers_) r->set_fault_model(fault_.get());
+}
+
+fault::FaultStats Mesh::finalize_fault_stats() {
+  GLOCKS_CHECK(fault_ != nullptr, "finalize_fault_stats without the domain");
+  return fault_->finalize_stats();
+}
+
+std::string Mesh::fault_context() const {
+  return fault_ == nullptr ? "off" : fault_->context();
+}
+
+std::string Mesh::debug_dump() const {
+  std::ostringstream oss;
+  oss << "  in flight " << in_flight_ << " (" << express_.size()
+      << " express)\n";
+  for (std::uint32_t t = 0; t < nics_.size(); ++t) {
+    std::size_t backlog = 0;
+    for (const auto& outbox : nics_[t].outbox) backlog += outbox.size();
+    if (backlog == 0 && routers_[t]->idle()) continue;
+    oss << "  tile " << t << ": nic backlog " << backlog
+        << ", router occupancy " << routers_[t]->occupancy() << "\n";
+  }
+  if (fault_ != nullptr) oss << fault_->debug_dump();
+  return oss.str();
 }
 
 void Mesh::set_sink(CoreId tile, Router::Sink sink) {
@@ -229,6 +268,14 @@ bool Mesh::route_conflicts(const Flight& cand) const {
 }
 
 bool Mesh::try_express(Packet& p, Cycle now) {
+  if (fault_ != nullptr) {
+    // Faulted routes are not analytically rigid (fates, retransmissions
+    // and detours all depend on the cycle-by-cycle state), so the fault
+    // domain declines every flight — timing-neutral, because the
+    // hop-by-hop path is always exact.
+    ++xperf_.declined;
+    return false;
+  }
   if (!cfg_.express_routes) {
     ++xperf_.declined;
     return false;
@@ -409,6 +456,12 @@ void Mesh::tick(Cycle now) {
     }
   }
   last_tick_ = now;
+  // Fault-domain work precedes arbitration: scripted kills and guard
+  // progression (ack completions, retransmission watchdogs, link
+  // deaths) must be visible to this cycle's router scan. All of it runs
+  // here on the coordinator thread, in a fixed order, so faulted runs
+  // stay bit-identical across --jobs, --shards, and restore.
+  if (fault_ != nullptr) fault_->advance(now);
   // NICs drain into routers first so an injection made during cycle N-1
   // (endpoint tick) can enter the router fabric at cycle N. Classes
   // drain independently into their own virtual channels.
@@ -427,8 +480,10 @@ void Mesh::tick(Cycle now) {
   for (auto& r : routers_) r->tick(now);
   // A non-empty fabric may move a packet any cycle (and backpressure
   // resolution has no wake signal), so only an empty one may sleep.
-  // Express flights don't count: each carries its own armed wake.
-  if (fabric_empty()) sleep();
+  // Express flights don't count: each carries its own armed wake. With
+  // the fault domain armed the mesh never sleeps: scripted kills and
+  // retransmission timers must fire on their exact cycles.
+  if (fault_ == nullptr && fabric_empty()) sleep();
 }
 
 void Mesh::save(ckpt::ArchiveWriter& a, const PayloadCodec& codec) const {
@@ -467,6 +522,9 @@ void Mesh::save(ckpt::ArchiveWriter& a, const PayloadCodec& codec) const {
     a.u32(f.hops);
   }
   for (const auto& r : routers_) r->save(a, codec);
+  // The fault domain's section is gated on its presence; the run spec in
+  // the checkpoint metadata decides it identically on both sides.
+  if (fault_ != nullptr) fault_->save(a);
 }
 
 void Mesh::load(ckpt::ArchiveReader& a, const PayloadCodec& codec) {
@@ -509,6 +567,7 @@ void Mesh::load(ckpt::ArchiveReader& a, const PayloadCodec& codec) {
     express_.push_back(f);
   }
   for (const auto& r : routers_) r->load(a, codec);
+  if (fault_ != nullptr) fault_->load(a);
 }
 
 std::uint32_t Mesh::hop_distance(CoreId a, CoreId b) const {

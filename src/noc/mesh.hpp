@@ -10,6 +10,7 @@
 #include "common/config.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "noc/message.hpp"
 #include "noc/router.hpp"
 #include "sim/engine.hpp"
@@ -59,9 +60,12 @@ struct ExpressPerf {
 /// and arbitration stay bit-identical whether the path is taken or not.
 /// See docs/simulation_model.md, "Message lifecycle, pooling, and the
 /// express path".
+class MeshFaultDomain;
+
 class Mesh final : public sim::Component {
  public:
   Mesh(std::uint32_t num_tiles, std::uint32_t width, NocConfig cfg);
+  ~Mesh() override;
 
   std::uint32_t num_tiles() const {
     return static_cast<std::uint32_t>(nics_.size());
@@ -104,6 +108,25 @@ class Mesh final : public sim::Component {
 
   /// True when no packet is anywhere in the network (for drain tests).
   bool idle() const { return in_flight_ == 0; }
+
+  /// Arms the mesh fault domain (cfg.mesh must be enabled): registers
+  /// two injector wires per directed link, guards every transfer, and
+  /// points the routers at the domain's hooks. Express fast-forwarding
+  /// is declined entirely while the domain is armed (faulted routes are
+  /// not analytically rigid) and the mesh never sleeps, so scripted
+  /// kills and retransmission timers fire on exact cycles. Call before
+  /// the first tick.
+  void enable_fault_domain(const FaultConfig& cfg);
+  bool fault_domain_enabled() const { return fault_ != nullptr; }
+  /// Closes the domain's ledger and returns its counters (domain must
+  /// be armed).
+  fault::FaultStats finalize_fault_stats();
+  /// One-line dead-link list for SimError messages ("none"/"off").
+  std::string fault_context() const;
+  /// Multi-line mesh state dump for hang reports: per-router occupancy,
+  /// NIC backlog, in-flight census, and (when armed) the fault domain's
+  /// dead links and busy guards.
+  std::string debug_dump() const;
 
   /// Minimal hop distance between two tiles.
   std::uint32_t hop_distance(CoreId a, CoreId b) const;
@@ -209,6 +232,9 @@ class Mesh final : public sim::Component {
   std::uint32_t num_shards_ = 1;
   std::vector<std::uint32_t> tile_shard_;
   std::vector<std::vector<Staged>> staged_;
+  /// Mesh fault domain (null in faults-off runs: every baseline path is
+  /// byte-identical to a build without the feature).
+  std::unique_ptr<MeshFaultDomain> fault_;
 };
 
 }  // namespace glocks::noc

@@ -46,6 +46,23 @@ void Router::place_local(Packet&& p, Cycle ready) {
   ++occupancy_;
 }
 
+const Packet& Router::peek_head(Dir in, MsgClass cls) const {
+  const auto& q = in_[idx(in)][static_cast<std::size_t>(cls)];
+  GLOCKS_CHECK(!q.empty(), "router (" << x_ << "," << y_
+                                      << ") peek on empty queue");
+  return q.front().pkt;
+}
+
+Packet Router::take_head(Dir in, MsgClass cls) {
+  auto& q = in_[idx(in)][static_cast<std::size_t>(cls)];
+  GLOCKS_CHECK(!q.empty(), "router (" << x_ << "," << y_
+                                      << ") take on empty queue");
+  Packet p = std::move(q.front().pkt);
+  q.pop_front();
+  --occupancy_;
+  return p;
+}
+
 Dir Router::route(std::uint32_t dst_x, std::uint32_t dst_y) const {
   // XY dimension-order: resolve X first, then Y. Deadlock-free on a mesh.
   if (dst_x > x_) return Dir::kEast;
@@ -100,13 +117,36 @@ void Router::tick(Cycle now) {
     auto& q = in_[i][vc];
     if (q.empty() || q.front().ready > now) continue;
     Packet& head = q.front().pkt;
-    const std::uint32_t dx = head.dst % mesh_w_;
-    const std::uint32_t dy = head.dst / mesh_w_;
-    const Dir out = route(dx, dy);
+    Dir out;
+    if (fault_ != nullptr) {
+      const auto in_dir = static_cast<Dir>(i);
+      const auto cls = static_cast<MsgClass>(vc);
+      // A head with an in-flight, unacknowledged frame stays queued until
+      // its link guard resolves (ack, retransmit, or link death).
+      if (fault_->head_locked(tile(), in_dir, cls)) continue;
+      const std::uint32_t nh = fault_->next_hop(tile(), head.dst);
+      if (nh >= kNumDirs) continue;  // destination currently unreachable
+      out = static_cast<Dir>(nh);
+    } else {
+      out = route(head.dst % mesh_w_, head.dst / mesh_w_);
+    }
     if (out_used[idx(out)]) continue;
-    if (out != Dir::kLocal &&
-        !neighbors_[idx(out)]->can_accept(opposite(out), head.cls)) {
-      continue;  // backpressure: downstream FIFO (same class) full
+    if (out != Dir::kLocal) {
+      if (!neighbors_[idx(out)]->can_accept(opposite(out), head.cls)) {
+        continue;  // backpressure: downstream FIFO (same class) full
+      }
+      if (fault_ != nullptr) {
+        // Guarded transfer: at most one unacknowledged frame per
+        // (link, class); the guard judges the fate and either moves the
+        // packet downstream or leaves it queued for retransmission.
+        if (fault_->link_busy(tile(), out, static_cast<MsgClass>(vc))) {
+          continue;
+        }
+        out_used[idx(out)] = true;
+        fault_->start_transfer(tile(), out, static_cast<Dir>(i),
+                               static_cast<MsgClass>(vc), now);
+        continue;
+      }
     }
     out_used[idx(out)] = true;
     Packet p = std::move(head);

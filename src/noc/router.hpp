@@ -78,6 +78,36 @@ void save_packet(ckpt::ArchiveWriter& a, const Packet& p,
                  const PayloadCodec& codec);
 Packet load_packet(ckpt::ArchiveReader& a, const PayloadCodec& codec);
 
+/// Hooks the router consults when the mesh fault domain is enabled
+/// (faults-off runs carry a null pointer and take the exact baseline
+/// paths). Implemented by noc::MeshFaultDomain, which owns the link
+/// guards (stop-and-wait ARQ per directed link and message class), the
+/// dead-link set, and the detour routing tables.
+class LinkFaultModel {
+ public:
+  virtual ~LinkFaultModel() = default;
+  /// Routing decision for `dst` at `tile`: XY while every link is alive,
+  /// the detour table once any link has died. Returns kNumDirs when the
+  /// destination is currently unreachable (the head must hold; the
+  /// end-to-end watchdog at the MSHR layer is the escape hatch).
+  virtual std::uint32_t next_hop(std::uint32_t tile, std::uint32_t dst) = 0;
+  /// True when the head of input queue (in, cls) at `tile` is owned by a
+  /// busy link guard (an in-flight, not-yet-acknowledged frame):
+  /// arbitration must leave it queued until the guard resolves.
+  virtual bool head_locked(std::uint32_t tile, Dir in, MsgClass cls) = 0;
+  /// True when the (tile, out, cls) guard is mid-transfer: no new frame
+  /// may start on that link/class this cycle (stop-and-wait).
+  virtual bool link_busy(std::uint32_t tile, Dir out, MsgClass cls) = 0;
+  /// Starts a guarded transfer of the head of (in, cls) through `out`.
+  /// The model judges the link fate: on delivery it moves the packet
+  /// into the downstream router itself (capacity pre-checked by the
+  /// caller); on loss/garble the head stays queued and the guard's
+  /// retransmission watchdog takes over. Either way the output port is
+  /// consumed for this cycle.
+  virtual void start_transfer(std::uint32_t tile, Dir out, Dir in,
+                              MsgClass cls, Cycle now) = 0;
+};
+
 class Router {
  public:
   using Sink = std::function<void(Packet&&)>;
@@ -88,6 +118,11 @@ class Router {
 
   std::uint32_t x() const { return x_; }
   std::uint32_t y() const { return y_; }
+  /// Tile id in the mesh's row-major layout.
+  std::uint32_t tile() const { return y_ * mesh_w_ + x_; }
+
+  /// Arms the mesh fault domain's hooks (null = faults-off baseline).
+  void set_fault_model(LinkFaultModel* m) { fault_ = m; }
 
   /// Wires the output in direction `d` to `neighbor` (non-owning).
   void connect(Dir d, Router& neighbor) { neighbors_[idx(d)] = &neighbor; }
@@ -116,6 +151,8 @@ class Router {
 
   /// True when every queue (inputs and pending local deliveries) is empty.
   bool idle() const { return occupancy_ == 0; }
+  /// Packets resident in this router (all input FIFOs + local_out_).
+  std::uint32_t occupancy() const { return occupancy_; }
 
   /// Decides the output direction for a packet destined to tile coords.
   Dir route(std::uint32_t dst_x, std::uint32_t dst_y) const;
@@ -128,6 +165,12 @@ class Router {
   void place(Dir in, MsgClass cls, Packet&& p, Cycle ready);
   /// Same, for the local ejection queue (a flight past its last switch).
   void place_local(Packet&& p, Cycle ready);
+
+  /// Fault-domain access to a guarded queue head: the guard inspects the
+  /// in-flight frame (peek) and removes it on successful link delivery
+  /// (take). Only meaningful while a guard owns the head.
+  const Packet& peek_head(Dir in, MsgClass cls) const;
+  Packet take_head(Dir in, MsgClass cls);
 
   /// Serializes queue contents (front-to-back, with ready cycles), the
   /// round-robin pointer, and the occupancy counter. Payload pointees go
@@ -158,6 +201,7 @@ class Router {
   common::RingBuffer<Timed> local_out_;
   Sink sink_;
   std::uint32_t rr_ = 0;  ///< round-robin start index for input arbitration
+  LinkFaultModel* fault_ = nullptr;  ///< mesh fault domain hooks (may be null)
   /// Packets resident in this router (all input FIFOs + local_out_); lets
   /// an idle tick skip the kSlots arbitration scan entirely.
   std::uint32_t occupancy_ = 0;

@@ -19,8 +19,14 @@
 //   --all                 shorthand for every workload
 //   --faults SPEC         fault-injection plan for every grid point.
 //                         SPEC is a bare rate ("0.001") or a key=value
-//                         list ("drop=1e-3,stuck=1e-4,seed=7,
-//                         fallback=mcs"); see fault/fault.hpp. Adds the
+//                         list; bare keys target the G-line domain
+//                         ("drop=1e-3,stuck=1e-4,seed=7,fallback=mcs"),
+//                         a "gline:" or "mesh:" prefix names the domain
+//                         explicitly — "mesh:drop=1e-4,mesh:dead=1e-6"
+//                         arms the mesh-link fault domain, and
+//                         "mesh:kill=TILE.D@CYCLE" (D in n/s/e/w)
+//                         scripts a link death; see fault/fault.hpp and
+//                         docs/fault_model.md. Adds the armed domains'
 //                         fault/recovery columns to the CSV. Each point
 //                         mixes its workload seed into the plan seed, so
 //                         the whole table is still deterministic and

@@ -22,11 +22,19 @@
 //   --trace FILE         write a Chrome-trace JSON of lock/barrier events
 //   --replay FILE        replay a lock-access trace instead of --workload
 //                        (see workloads/trace_replay.hpp for the format)
-//   --faults SPEC        enable G-line fault injection; SPEC is a bare
-//                        rate ("0.001") or key=value list
-//                        ("drop=1e-3,stuck=1e-4,fallback=mcs"), see
-//                        fault/fault.hpp. Adds a fault/recovery section
-//                        to the report (and CSV/JSON output).
+//   --faults SPEC        enable fault injection; SPEC is a bare rate
+//                        ("0.001") or a key=value list. Bare keys target
+//                        the G-line domain ("drop=1e-3,stuck=1e-4,
+//                        fallback=mcs"); a "gline:" or "mesh:" prefix
+//                        names the domain explicitly — "mesh:drop=1e-4,
+//                        mesh:dead=1e-6" arms the mesh-link fault domain
+//                        (link-level retry, detour routing, end-to-end
+//                        MSHR watchdogs), and "mesh:kill=TILE.D@CYCLE"
+//                        (D in n/s/e/w) scripts a deterministic link
+//                        death. Domains compose in one SPEC; see
+//                        fault/fault.hpp and docs/fault_model.md. Adds
+//                        the armed domains' fault/recovery sections to
+//                        the report (and CSV/JSON output).
 //   --fault-seed N       fault-injector seed (overrides seed= in SPEC)
 //   --shards N           host threads the machine is sharded across   [1]
 //                        (or the GLOCKS_SHARDS env var when the flag is
@@ -122,9 +130,11 @@ int main(int argc, char** argv) {
       const auto meta = ckpt::read_checkpoint_meta(path);
       const auto result = ckpt::restore_and_run(path, requested_shards(args));
       if (args.has("csv")) {
-        harness::write_csv_header(std::cout, meta.spec.cmp.fault.enabled);
+        harness::write_csv_header(std::cout, meta.spec.cmp.fault.enabled,
+                                  meta.spec.cmp.fault.mesh.enabled);
         harness::write_csv_row(result, std::cout,
-                               meta.spec.cmp.fault.enabled);
+                               meta.spec.cmp.fault.enabled,
+                               meta.spec.cmp.fault.mesh.enabled);
       } else if (args.has("json")) {
         harness::write_json(result, std::cout);
       } else {
@@ -154,7 +164,7 @@ int main(int argc, char** argv) {
       cfg.cmp.fault = fault::parse_fault_spec(args.get("faults"));
     }
     if (args.has("fault-seed")) {
-      GLOCKS_CHECK(cfg.cmp.fault.enabled,
+      GLOCKS_CHECK(cfg.cmp.fault.any(),
                    "--fault-seed needs --faults to enable injection");
       cfg.cmp.fault.seed = args.get_u64("fault-seed", 0);
     }
@@ -244,8 +254,10 @@ int main(int argc, char** argv) {
     }
 
     if (args.has("csv")) {
-      harness::write_csv_header(std::cout, cfg.cmp.fault.enabled);
-      harness::write_csv_row(result, std::cout, cfg.cmp.fault.enabled);
+      harness::write_csv_header(std::cout, cfg.cmp.fault.enabled,
+                                cfg.cmp.fault.mesh.enabled);
+      harness::write_csv_row(result, std::cout, cfg.cmp.fault.enabled,
+                             cfg.cmp.fault.mesh.enabled);
     } else if (args.has("json")) {
       harness::write_json(result, std::cout);
     } else {

@@ -104,6 +104,22 @@ TEST(CkptEquivalence, FaultedRunRoundTrips) {
   check_resume_equivalence(spec, ::testing::TempDir());
 }
 
+TEST(CkptEquivalence, MeshFaultedRunRoundTrips) {
+  // Mesh fault domain armed: the checkpoint carries per-link ARQ guard
+  // state, pending injector delays, the dead-link set (one link is
+  // scripted to die mid-run) with its detour tables, and the L1s'
+  // end-to-end watchdog deadlines — all of which must replay to the same
+  // bytes and finish bit-identically.
+  ckpt::RunSpec spec = base_spec("MCTR");
+  spec.cmp.fault.seed = 11;
+  spec.cmp.fault.mesh.enabled = true;
+  spec.cmp.fault.mesh.drop_rate = 2e-3;
+  spec.cmp.fault.mesh.garble_rate = 1e-3;
+  spec.cmp.fault.mesh.delay_rate = 2e-3;
+  spec.cmp.fault.mesh.kills.push_back(LinkKill{1, 3, 1500});
+  check_resume_equivalence(spec, ::testing::TempDir());
+}
+
 // ---------------------------------------------------------------------
 // Rejection contract on real checkpoint files.
 

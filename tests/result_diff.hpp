@@ -65,6 +65,7 @@ inline std::string diff_results(const harness::RunResult& a,
   GLOCKS_DIFF_FIELD(dir.memory_fetches);
   GLOCKS_DIFF_FIELD(dir.memory_writebacks);
   GLOCKS_DIFF_FIELD(dir.deferred_requests);
+  GLOCKS_DIFF_FIELD(dir.dup_requests);
 
   GLOCKS_DIFF_FIELD(gline.signals);
   GLOCKS_DIFF_FIELD(gline.local_flags);
@@ -91,6 +92,29 @@ inline std::string diff_results(const harness::RunResult& a,
   for (std::uint32_t bin = 0; bin <= a.fault.detection_latency.max_bin();
        ++bin) {
     GLOCKS_DIFF_FIELD(fault.detection_latency.count(bin));
+  }
+
+  GLOCKS_DIFF_FIELD(mesh_fault.enabled);
+  for (std::size_t k = 0; k < fault::kNumFaultKinds; ++k) {
+    GLOCKS_DIFF_FIELD(mesh_fault.injected[k]);
+  }
+  GLOCKS_DIFF_FIELD(mesh_fault.detected);
+  GLOCKS_DIFF_FIELD(mesh_fault.tolerated);
+  GLOCKS_DIFF_FIELD(mesh_fault.retransmissions);
+  GLOCKS_DIFF_FIELD(mesh_fault.watchdog_timeouts);
+  GLOCKS_DIFF_FIELD(mesh_fault.spurious_retransmissions);
+  GLOCKS_DIFF_FIELD(mesh_fault.rx_discards);
+  GLOCKS_DIFF_FIELD(mesh_fault.duplicate_frames);
+  GLOCKS_DIFF_FIELD(mesh_fault.link_failures);
+  GLOCKS_DIFF_FIELD(mesh_fault.reroutes);
+  GLOCKS_DIFF_FIELD(mesh_fault.e2e_timeouts);
+  GLOCKS_DIFF_FIELD(mesh_fault.e2e_retries);
+  GLOCKS_DIFF_FIELD(mesh_fault.e2e_dup_drops);
+  GLOCKS_DIFF_FIELD(mesh_fault.detection_latency_sum);
+  GLOCKS_DIFF_FIELD(mesh_fault.detection_count);
+  for (std::uint32_t bin = 0;
+       bin <= a.mesh_fault.detection_latency.max_bin(); ++bin) {
+    GLOCKS_DIFF_FIELD(mesh_fault.detection_latency.count(bin));
   }
 
   GLOCKS_DIFF_FIELD(energy.cores);

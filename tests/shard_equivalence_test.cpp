@@ -51,6 +51,22 @@ harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
   return harness::run_workload(*wl, cfg);
 }
 
+harness::RunResult run_mesh_faulted(const workloads::RegistryEntry& entry,
+                                    std::uint64_t seed,
+                                    std::uint32_t shards) {
+  auto wl = entry.make(0.25);
+  harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
+  cfg.cmp.num_shards = shards;
+  cfg.cmp.fault.seed = seed * 47 + 9;
+  auto& m = cfg.cmp.fault.mesh;
+  m.enabled = true;
+  m.drop_rate = 2e-3;
+  m.garble_rate = 1e-3;
+  m.delay_rate = 2e-3;
+  m.kills.push_back(LinkKill{1, 3, 1500});  // tile 1's east link dies
+  return harness::run_workload(*wl, cfg);
+}
+
 class EveryWorkload : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(EveryWorkload, ShardCountsAreBitIdentical) {
@@ -83,6 +99,21 @@ TEST_P(EveryWorkload, FaultedShardCountsAreBitIdentical) {
     const std::string diff = test::diff_results(serial, sharded);
     EXPECT_EQ(diff, "") << entry.name << " (faulted) shards " << shards
                         << ": " << diff;
+  }
+}
+
+// The mesh fault domain judges every link fate inside Mesh::tick, which
+// runs serially on the coordinator thread each epoch — so ARQ retries,
+// link deaths, detoured forwards, and the e2e watchdog ledger must all
+// be bit-identical across shard counts too.
+TEST_P(EveryWorkload, MeshFaultedShardCountsAreBitIdentical) {
+  const auto& entry = workloads::registry()[GetParam()];
+  const auto serial = run_mesh_faulted(entry, 7, 1);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const auto sharded = run_mesh_faulted(entry, 7, shards);
+    const std::string diff = test::diff_results(serial, sharded);
+    EXPECT_EQ(diff, "") << entry.name << " (mesh-faulted) shards "
+                        << shards << ": " << diff;
   }
 }
 
