@@ -176,6 +176,15 @@ ArchiveReader::ArchiveReader(std::vector<std::uint8_t> data,
         << " not supported by this build (max " << kFormatVersion << ")";
     throw CkptError(CkptError::Code::kBadVersion, oss.str());
   }
+  if (v < kMinFormatVersion) {
+    std::ostringstream oss;
+    oss << "checkpoint format version " << v
+        << " was produced by an older incompatible build (this build "
+           "reads versions "
+        << kMinFormatVersion << ".." << kFormatVersion
+        << "); re-create the checkpoint";
+    throw CkptError(CkptError::Code::kBadVersion, oss.str());
+  }
   version_ = v;
   cursor_ = sizeof(kMagic) + 4;
 }

@@ -25,6 +25,13 @@ namespace glocks::ckpt {
 /// change; readers reject anything newer than this.
 inline constexpr std::uint32_t kFormatVersion = 3;
 
+/// Oldest version this build still reads. v3 widened the run spec (mesh
+/// fault block) and several state sections (L1 retry state, directory
+/// last_done_, the mesh domain section) without per-field gates, so
+/// older archives get a clean up-front rejection instead of a confusing
+/// mid-parse kTruncated/kBadSection failure.
+inline constexpr std::uint32_t kMinFormatVersion = 3;
+
 /// 8-byte file magic.
 inline constexpr char kMagic[8] = {'G', 'L', 'K', 'C', 'K', 'P', 'T', '\n'};
 

@@ -120,7 +120,12 @@ void DirSlice::deliver(CohMsgPtr msg, Cycle ready) {
 }
 
 bool DirSlice::is_duplicate_request(const CohMsg& m) const {
-  if (last_done_[m.sender] == m.req_id) return true;  // already granted
+  // Request ids are strictly monotonic per core (L1 op_seq_) and a core
+  // has a single MSHR, so once last_done_ records an id every tagged
+  // request at or below it is a stale ARQ copy — not just the equal one:
+  // a delayed watchdog retry can arrive after the same core has already
+  // completed a *later* request at this home slice.
+  if (m.req_id != 0 && m.req_id <= last_done_[m.sender]) return true;
   if (auto it = txns_.find(m.line);
       it != txns_.end() && it->second.requester == m.sender &&
       it->second.req_id == m.req_id) {

@@ -302,43 +302,123 @@ void MeshFaultDomain::recompute_detours() {
   detour_.assign(static_cast<std::size_t>(num_tiles_) * num_tiles_,
                  kUnreachable);
   constexpr std::uint32_t kInf = 0xFFFFFFFFu;
-  // Tie-break preference resolves X before Y, so on an intact mesh the
-  // table reproduces XY routing exactly.
   constexpr Dir kOrder[4] = {Dir::kEast, Dir::kWest, Dir::kSouth,
                              Dir::kNorth};
-  std::vector<std::uint32_t> dist(num_tiles_);
+  // Arbitrary shortest-path detours abandon XY's turn restrictions, and
+  // with per-class stop-and-wait guards a cyclic channel dependency
+  // wedges a faulted-but-connected mesh for good. Routes are therefore
+  // constrained to the up*/down* turn model (Autonet): tiles are totally
+  // ordered by (BFS level from the component's lowest-id tile, tile id),
+  // every surviving edge points "up" toward its lower-ordered end, and a
+  // legal route climbs zero or more up edges, then descends zero or more
+  // down edges, never turning up again. Up-only dependency chains
+  // strictly decrease the order, down-only chains strictly increase it,
+  // and the down->up turn is forbidden, so no dependency cycle exists.
+  //
+  // An edge is usable only when the directed links of BOTH directions
+  // survive: up*/down* traverses edges both ways, so a half-dead pair
+  // is retired whole (conservative: a one-way-only path reads as a
+  // partition instead of a route).
+  auto edge_alive = [&](std::uint32_t t, Dir d) -> bool {
+    const Link& f = link(t, d);
+    if (!f.exists || f.dead) return false;
+    const Link& b = link(f.nbr, opposite(d));
+    return b.exists && !b.dead;
+  };
+
+  std::vector<std::uint32_t> level(num_tiles_, kInf);
   std::vector<std::uint32_t> q;
   q.reserve(num_tiles_);
+  for (std::uint32_t root = 0; root < num_tiles_; ++root) {
+    if (level[root] != kInf) continue;
+    level[root] = 0;
+    q.clear();
+    q.push_back(root);
+    for (std::size_t head = 0; head < q.size(); ++head) {
+      const std::uint32_t v = q[head];
+      for (Dir d : kOrder) {
+        if (!edge_alive(v, d)) continue;
+        const std::uint32_t n = link(v, d).nbr;
+        if (level[n] != kInf) continue;
+        level[n] = level[v] + 1;
+        q.push_back(n);
+      }
+    }
+  }
+  // a strictly closer to the root than b (ties by id keep it total).
+  auto above = [&](std::uint32_t a, std::uint32_t b) {
+    return level[a] != level[b] ? level[a] < level[b] : a < b;
+  };
+  // Tiles in root-most-first order; up neighbors always precede a tile.
+  std::vector<std::uint32_t> order(num_tiles_);
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) order[t] = t;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return above(a, b); });
+
+  std::vector<std::uint32_t> ddist(num_tiles_);
+  std::vector<std::uint32_t> udist(num_tiles_);
   for (std::uint32_t dst = 0; dst < num_tiles_; ++dst) {
-    std::fill(dist.begin(), dist.end(), kInf);
-    dist[dst] = 0;
+    // ddist[x]: shortest down-only path x -> dst (reverse BFS from dst
+    // over down edges). The root's down-cone spans its whole component
+    // (every BFS-tree edge points down from parent to child).
+    std::fill(ddist.begin(), ddist.end(), kInf);
+    ddist[dst] = 0;
     q.clear();
     q.push_back(dst);
     for (std::size_t head = 0; head < q.size(); ++head) {
       const std::uint32_t v = q[head];
-      // In-edges of v: each geometric neighbor n whose link n->v lives.
       for (Dir d : kOrder) {
-        const Link& lv = link(v, d);
-        if (!lv.exists) continue;
-        const std::uint32_t n = lv.nbr;
-        const Link& back = link(n, opposite(d));
-        if (!back.exists || back.dead) continue;
-        if (dist[n] != kInf) continue;
-        dist[n] = dist[v] + 1;
+        if (!edge_alive(v, d)) continue;
+        const std::uint32_t n = link(v, d).nbr;
+        if (!above(n, v) || ddist[n] != kInf) continue;
+        ddist[n] = ddist[v] + 1;
         q.push_back(n);
       }
     }
-    for (std::uint32_t t = 0; t < num_tiles_; ++t) {
-      if (t == dst || dist[t] == kInf) continue;
+    // udist[x]: up hops to the nearest tile whose down-cone holds dst.
+    // Up neighbors sit strictly earlier in the order, so one pass does.
+    for (const std::uint32_t x : order) {
+      if (ddist[x] != kInf) {
+        udist[x] = 0;
+        continue;
+      }
+      udist[x] = kInf;
       for (Dir d : kOrder) {
-        const Link& l = link(t, d);
-        if (!l.exists || l.dead) continue;
-        if (dist[l.nbr] + 1 == dist[t]) {
-          detour_[static_cast<std::size_t>(t) * num_tiles_ + dst] =
-              static_cast<std::uint8_t>(d);
-          break;
+        if (!edge_alive(x, d)) continue;
+        const std::uint32_t n = link(x, d).nbr;
+        if (!above(n, x)) continue;
+        if (udist[n] != kInf && udist[n] + 1 < udist[x]) {
+          udist[x] = udist[n] + 1;
         }
       }
+    }
+    // Next hops. A tile descends as soon as dst is downhill-reachable;
+    // the rule is suffix-closed (every down hop lands on a tile that
+    // also descends), so a pure (tile, dst) table keeps every realized
+    // path legal.
+    for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+      if (t == dst) continue;
+      std::uint8_t hop = kUnreachable;
+      if (ddist[t] != kInf) {
+        for (Dir d : kOrder) {
+          if (!edge_alive(t, d)) continue;
+          const std::uint32_t n = link(t, d).nbr;
+          if (above(t, n) && ddist[n] + 1 == ddist[t]) {
+            hop = static_cast<std::uint8_t>(d);
+            break;
+          }
+        }
+      } else if (udist[t] != kInf) {
+        for (Dir d : kOrder) {
+          if (!edge_alive(t, d)) continue;
+          const std::uint32_t n = link(t, d).nbr;
+          if (above(n, t) && udist[n] + 1 == udist[t]) {
+            hop = static_cast<std::uint8_t>(d);
+            break;
+          }
+        }
+      }
+      detour_[static_cast<std::size_t>(t) * num_tiles_ + dst] = hop;
     }
   }
 }

@@ -121,8 +121,9 @@ class MeshFaultDomain final : public LinkFaultModel {
   /// Declares the directed link dead: closes its guards and stuck
   /// events, counts the failure, and rebuilds the detour tables.
   void kill_link(std::uint32_t tile, Dir d, Cycle now);
-  /// Rebuilds the per-destination next-hop tables by BFS over the
-  /// surviving directed links (tie-break replicates XY preference).
+  /// Rebuilds the per-destination next-hop tables under the up*/down*
+  /// turn model on the surviving links: deterministic, and free of
+  /// cyclic channel dependencies (so detoured traffic cannot deadlock).
   void recompute_detours();
 
   std::uint64_t& counter(std::uint64_t fault::FaultStats::* f) {

@@ -191,5 +191,61 @@ TEST(DirRaces, RequestOvertakesOwnPutM) {
   EXPECT_TRUE(dir.quiescent());
 }
 
+TEST(DirRaces, StaleRetryAfterLaterRequestIsDropped) {
+  // The ARQ layer delivers every in-flight copy eventually, so a delayed
+  // watchdog retry (or the delayed original, when the retry won) can
+  // arrive after the same core has already completed a *later* tagged
+  // request at this home. The stale id must be dropped, not admitted as
+  // a fresh request — admitting it starts a phantom transaction (e.g.
+  // re-granting ownership the core never asked for) and the requester
+  // dies on a data response with no matching MSHR.
+  sim::Engine engine;
+  StubTransport transport;
+  BackingStore memory;
+  DirSlice dir(0, 4, L2Config{}, 400, transport, memory, engine);
+  engine.add(dir);
+  auto step = [&](int n) {
+    for (int i = 0; i < n; ++i) engine.step();
+  };
+  constexpr Addr kLineA = 0x40000;
+  constexpr Addr kLineB = 0x41000;
+  auto make = [&](CohType t, Addr line, std::uint64_t req_id,
+                  Word word0 = 0) {
+    CohMsgPtr m = transport.make_msg();
+    m->type = t;
+    m->line = line_of(line);
+    m->sender = 2;
+    m->requester = 2;
+    m->req_id = req_id;
+    m->data[0] = word0;
+    return m;
+  };
+
+  // Request id 1: core 2 takes ownership of line A, then writes it back.
+  dir.deliver(make(CohType::kGetX, kLineA, 1), engine.now());
+  step(500);
+  ASSERT_EQ(dir.probe_state(line_of(kLineA)), 'M');
+  dir.deliver(make(CohType::kPutM, kLineA, 0, /*word0=*/11), engine.now());
+  step(500);
+  ASSERT_EQ(dir.probe_state(line_of(kLineA)), 'U');
+
+  // Request id 2: a later request from the same core completes too, so
+  // the home's last-done id for core 2 has advanced past 1.
+  dir.deliver(make(CohType::kGetX, kLineB, 2), engine.now());
+  step(500);
+  ASSERT_EQ(dir.probe_state(line_of(kLineB)), 'M');
+  ASSERT_TRUE(dir.quiescent());
+  const std::size_t sends_before = transport.sent.size();
+
+  // The stale copy of request id 1 finally straggles in.
+  dir.deliver(make(CohType::kGetX, kLineA, 1), engine.now());
+  step(500);
+
+  EXPECT_EQ(dir.stats().dup_requests, 1u);
+  EXPECT_EQ(transport.sent.size(), sends_before);  // no phantom grant
+  EXPECT_EQ(dir.probe_state(line_of(kLineA)), 'U');
+  EXPECT_TRUE(dir.quiescent());
+}
+
 }  // namespace
 }  // namespace glocks::mem

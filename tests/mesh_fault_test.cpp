@@ -141,6 +141,31 @@ TEST(MeshFault, DeadLinkDetoursAndCompletes) {
   EXPECT_GT(r.mesh_fault.reroutes, 0u);
 }
 
+// Several dead links at once: detours now follow the up*/down* turn
+// model, so even a heavily amputated-but-connected mesh must complete
+// the workload — no cyclic channel dependency (routing deadlock) can
+// form — and the rerouted runs stay bit-identical across repeats. The
+// kill set retires edges 1-2, 4-5 and 4-7 (edges are retired whole, so
+// traffic to/from tile 2 must round the long way via 5-8-7), which
+// under unrestricted shortest-path detours could close dependency
+// cycles through the surviving ring.
+TEST(MeshFault, ManyDeadLinksCompleteWithoutRoutingDeadlock) {
+  harness::RunConfig cfg = mesh_cfg(11);
+  cfg.cmp.fault.mesh.kills.push_back(LinkKill{1, 3, 900});   // 1 -E-> 2
+  cfg.cmp.fault.mesh.kills.push_back(LinkKill{4, 3, 1000});  // 4 -E-> 5
+  cfg.cmp.fault.mesh.kills.push_back(LinkKill{4, 2, 1100});  // 4 -S-> 7
+
+  const auto a = run_sctr(cfg);
+
+  ASSERT_GT(a.cycles, 1100u) << "run too short to reach the kills";
+  EXPECT_EQ(a.mesh_fault.link_failures, 3u);
+  EXPECT_GT(a.mesh_fault.reroutes, 0u);
+
+  const auto b = run_sctr(cfg);
+  const std::string diff = test::diff_results(a, b);
+  EXPECT_EQ(diff, "") << diff;
+}
+
 // Killing every outbound link of tile 0 partitions its home directory
 // away from the rest of the chip: the end-to-end watchdog must retry,
 // exhaust its budget, and escalate to a structured SimError naming the
