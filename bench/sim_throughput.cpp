@@ -190,6 +190,9 @@ int main(int argc, char** argv) {
   json.precision(6);
   json << "{\n";
   json << "  \"bench\": \"sim_throughput\",\n";
+  // v2: SimPerf payloads carry shard_exec + aggregated slot totals with
+  // the ten hottest slots instead of the full per-slot array.
+  json << "  \"format_version\": 2,\n";
   json << "  \"cores\": " << cores << ",\n";
   json << "  \"scale\": " << scale << ",\n";
   json << "  \"grid_points\": " << reg.size() * 2 << ",\n";

@@ -15,16 +15,21 @@
 #   3. the express-route hit rate is at least MIN_XHIT (default: half
 #      the committed baseline's) — catches a conflict-check change that
 #      silently declines everything and falls back to hop-by-hop,
-#   4. when the host has >= 4 hardware threads: the 4-shard run of the
-#      big machine is at least MIN_SHARD_SPEEDUP (default 1.25x, an
-#      absolute floor — hosted runners are too variable for a
+#   4. when the host has >= 4 hardware threads: the 4-shard windowed run
+#      of the big machine is at least MIN_SHARD_SPEEDUP (default 2.0x,
+#      an absolute floor — hosted runners are too variable for a
 #      baseline-relative one) faster than the serial scan, and sharded
-#      results stayed bit-identical ("shard_identical": true). On
-#      smaller hosts the speedup check is skipped (the workers would
-#      just time-slice one core) but identity is still enforced.
+#      results stayed bit-identical ("shard_identical": true). The 2.0x
+#      floor is the point of the multi-cycle lookahead kernel: lockstep
+#      sharding ran BELOW 1x (barrier overhead beat the parallelism), so
+#      missing the floor on a capable host means windows stopped
+#      engaging — check the window histogram in the --perf shard-exec
+#      block. On smaller hosts the speedup check is skipped with the
+#      reason logged (the workers would just time-slice one core) but
+#      identity is still enforced.
 #
 # Usage: scripts/bench_throughput.sh [build-dir] [scale]
-#        MIN_SPEEDUP=1.5 MIN_XHIT=0.3 MIN_SHARD_SPEEDUP=1.25 \
+#        MIN_SPEEDUP=1.5 MIN_XHIT=0.3 MIN_SHARD_SPEEDUP=2.0 \
 #            scripts/bench_throughput.sh build 0.25
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -81,7 +86,7 @@ fi
 shard_identical="$(json_field "$OUT" shard_identical)"
 shard_speedup="$(json_field "$OUT" shard_speedup_4)"
 host_threads="$(json_field "$OUT" host_threads)"
-min_shard="${MIN_SHARD_SPEEDUP:-1.25}"
+min_shard="${MIN_SHARD_SPEEDUP:-2.0}"
 if [[ "$shard_identical" != "true" ]]; then
   echo "FAIL: sharded runs diverged from the serial scan" >&2
   exit 1
@@ -91,12 +96,19 @@ if [[ "$host_threads" -ge 4 ]]; then
        "(floor ${min_shard}x, host threads ${host_threads})"
   if ! awk -v s="$shard_speedup" -v m="$min_shard" \
         'BEGIN { exit !(s >= m) }'; then
-    echo "FAIL: 4-shard speedup ${shard_speedup}x below the" \
-         "${min_shard}x floor" >&2
+    echo "FAIL: 4-shard windowed speedup ${shard_speedup}x below the" \
+         "${min_shard}x floor on a ${host_threads}-thread host." >&2
+    echo "      The lookahead windows are not paying for the barriers:" \
+         "run the bench with --perf and check the shard-exec window" \
+         "histogram — windows collapsing to 1 cycle mean a planner" \
+         "clamp (sequential slots, core actions, or mem-waiters) is" \
+         "pinning every epoch to lockstep." >&2
     exit 1
   fi
 else
-  echo "shard-smoke: host has ${host_threads} thread(s) — speedup check" \
-       "skipped (identity still enforced)"
+  echo "shard-smoke: SKIPPED the shard_speedup_4 >= ${min_shard}x gate —" \
+       "host has only ${host_threads} hardware thread(s), so 4 shard" \
+       "workers would time-slice one core and any speedup number would" \
+       "be noise. Bit-identity of sharded results is still enforced."
 fi
 echo "perf-smoke passed."

@@ -43,11 +43,21 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # ctest's default 1500 s budget.
 ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
       -R '^(exec_pool_test|determinism_test|soak_test|ckpt_test|ckpt_equivalence_test|shard_equivalence_test|mesh_fault_test)$'
-# Second pass: the same machines sharded 4 ways. The suites' assertions
-# are shard-agnostic (results are bit-identical by contract), so any new
-# failure here is either a data race TSan caught or a broken contract.
-# mesh_fault_test rides along so the mesh fault domain's coordinator-side
-# judging runs against sharded workers under the race detector.
-GLOCKS_SHARDS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
+# Second pass: the same machines sharded 4 ways in per-cycle lockstep
+# (GLOCKS_SHARD_WINDOW=1). The suites' assertions are shard-agnostic
+# (results are bit-identical by contract), so any new failure here is
+# either a data race TSan caught or a broken contract. mesh_fault_test
+# rides along so the mesh fault domain's coordinator-side judging runs
+# against sharded workers under the race detector.
+GLOCKS_SHARDS=4 GLOCKS_SHARD_WINDOW=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
+      -R '^(determinism_test|soak_test|mesh_fault_test)$'
+# Third pass: multi-cycle lookahead windows (GLOCKS_SHARD_WINDOW=0 =
+# auto). This drives the windowed kernel — per-shard local clocks, the
+# region-sharded mesh, boundary-flit staging taps, and the window-edge
+# merges — under the race detector; mesh_fault_test rides along to prove
+# the window gate's lockstep fallback on fault-armed fabrics.
+GLOCKS_SHARDS=4 GLOCKS_SHARD_WINDOW=0 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
       -R '^(determinism_test|soak_test|mesh_fault_test)$'
 echo "TSan check passed."

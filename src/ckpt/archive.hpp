@@ -23,14 +23,17 @@ namespace glocks::ckpt {
 
 /// Current archive format version. Bump on any incompatible layout
 /// change; readers reject anything newer than this.
-inline constexpr std::uint32_t kFormatVersion = 3;
+inline constexpr std::uint32_t kFormatVersion = 4;
 
-/// Oldest version this build still reads. v3 widened the run spec (mesh
-/// fault block) and several state sections (L1 retry state, directory
-/// last_done_, the mesh domain section) without per-field gates, so
-/// older archives get a clean up-front rejection instead of a confusing
-/// mid-parse kTruncated/kBadSection failure.
-inline constexpr std::uint32_t kMinFormatVersion = 3;
+/// Oldest version this build still reads. v4 added shard_window to the
+/// run spec and switched the mesh section's packet sequence state from
+/// one global counter to one stream per source tile (per-tile injection
+/// counts, which are invariant across execution strategies — the
+/// property that lets an archive restored at one shard count or window
+/// length re-checkpoint verifiably at another). v3 archives would parse
+/// into garbage, so they get a clean up-front rejection instead of a
+/// confusing mid-parse kTruncated/kBadSection failure.
+inline constexpr std::uint32_t kMinFormatVersion = 4;
 
 /// 8-byte file magic.
 inline constexpr char kMagic[8] = {'G', 'L', 'K', 'C', 'K', 'P', 'T', '\n'};

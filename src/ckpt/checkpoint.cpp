@@ -92,6 +92,7 @@ void save_run_spec(ArchiveWriter& a, const RunSpec& spec) {
   a.u8(static_cast<std::uint8_t>(c.engine_mode));
   a.u64(c.drain_budget);
   a.u32(c.num_shards);
+  a.u32(c.shard_window);
 
   save_lock_kind(a, spec.policy.highly_contended);
   save_lock_kind(a, spec.policy.regular);
@@ -189,6 +190,7 @@ RunSpec load_run_spec(ArchiveReader& a) {
   c.engine_mode = static_cast<EngineMode>(mode);
   c.drain_budget = a.u64();
   c.num_shards = a.u32();
+  c.shard_window = a.u32();
 
   spec.policy.highly_contended = load_lock_kind(a);
   spec.policy.regular = load_lock_kind(a);
@@ -353,7 +355,8 @@ std::string divergence_message(const std::vector<std::uint8_t>& saved,
 }  // namespace
 
 harness::RunResult restore_and_run(const std::string& path,
-                                   std::optional<std::uint32_t> shards) {
+                                   std::optional<std::uint32_t> shards,
+                                   std::optional<std::uint32_t> window) {
   ArchiveReader r = ArchiveReader::from_file(path);
   const CkptMeta meta = read_meta(r);
 
@@ -390,11 +393,14 @@ harness::RunResult restore_and_run(const std::string& path,
     }
     verified = true;
     // The replay up to here ran at the checkpoint's recorded shard
-    // count (cfg.cmp carries it), so the byte-compare above matched an
-    // archive written under the same execution strategy. Only now, with
-    // the machine verified and parked between cycles, switch to the
-    // caller's requested count — bit-identical from here on by the
-    // shard-equivalence contract.
+    // count and window length (cfg.cmp carries both), so the
+    // byte-compare above matched an archive written under the same
+    // execution strategy. Only now, with the machine verified and
+    // parked between cycles, switch to the caller's requested strategy
+    // — bit-identical from here on by the shard-equivalence contract.
+    if (window && *window != sys.shard_window()) {
+      sys.set_shard_window(*window);
+    }
     if (shards && *shards != sys.shards()) sys.set_shards(*shards);
   };
   harness::RunResult result = harness::run_workload(*wl, cfg, hooks);

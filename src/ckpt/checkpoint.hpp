@@ -86,11 +86,13 @@ harness::RunResult run_with_checkpoints(
 /// the same spec (tests/ckpt_equivalence_test.cpp).
 ///
 /// The replay itself always runs at the checkpoint's recorded shard
-/// count (the archive bytes depend on it through the express-route
-/// counters); `shards`, when set, takes effect only after the replayed
-/// machine has been byte-verified — the tail then runs sharded, with a
+/// count and window length (the archive bytes depend on them through
+/// the express-route counters); `shards` and `window`, when set, take
+/// effect only after the replayed machine has been byte-verified — the
+/// tail then runs under the requested execution strategy, with a
 /// bit-identical result (tests/shard_equivalence_test.cpp).
 harness::RunResult restore_and_run(const std::string& path,
-                                   std::optional<std::uint32_t> shards = {});
+                                   std::optional<std::uint32_t> shards = {},
+                                   std::optional<std::uint32_t> window = {});
 
 }  // namespace glocks::ckpt

@@ -214,6 +214,15 @@ struct CmpConfig {
   /// num_cores by CmpSystem.
   std::uint32_t num_shards = 1;
 
+  /// Conservative-lookahead window length for sharded execution: 1
+  /// forces per-cycle lockstep epochs, 0 (the default) lets windows run
+  /// to the safety bounds (per-hop latency over a busy fabric, the
+  /// H_min lookahead horizon over an empty one), L > 1 additionally
+  /// caps them at L cycles. Another execution strategy: results are
+  /// bit-identical for every value and every shard count. Ignored with
+  /// one shard; forced to lockstep while the fault domain is armed.
+  std::uint32_t shard_window = 0;
+
   /// Budget for the post-run drain phase (flushing in-flight coherence
   /// traffic and letting the G-line network settle). 0 means "derive
   /// from the machine geometry" — see effective_drain_budget().

@@ -129,6 +129,7 @@ void run_sweep(const SweepSpec& spec, std::ostream& os,
     harness::RunConfig cfg;
     cfg.cmp.num_cores = p.cores;
     cfg.cmp.num_shards = spec.num_shards;
+    cfg.cmp.shard_window = spec.shard_window;
     cfg.policy.highly_contended = p.kind;
     cfg.seed = p.seed;
     if (spec.fault.any()) {

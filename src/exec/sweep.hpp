@@ -30,6 +30,11 @@ struct SweepSpec {
   /// value — so it is likewise excluded from sweep_signature() and a
   /// manifest-resumed sweep may change it freely.
   std::uint32_t num_shards = 1;
+  /// Conservative-lookahead window length for the sharded kernel
+  /// (--shard-window; see CmpConfig::shard_window). Execution strategy
+  /// like num_shards: excluded from sweep_signature(), free to change
+  /// across a manifest resume.
+  std::uint32_t shard_window = 0;
   /// Fault-injection plan applied to every grid point (--faults). When
   /// enabled, each point derives its own injector seed from (fault.seed,
   /// workload seed), the CSV gains the fault columns, and the guarded

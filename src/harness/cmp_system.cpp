@@ -95,6 +95,14 @@ void CmpSystem::set_shards(std::uint32_t n) {
   install_shard_plan(shards);
 }
 
+void CmpSystem::set_shard_window(std::uint32_t w) {
+  if (cfg_.shard_window == w) return;
+  cfg_.shard_window = w;
+  // Reinstall the plan so the engine/mesh pick the new window mode up;
+  // a no-op for the serial scan (the knob only matters when sharded).
+  set_shards(engine_.num_shards());
+}
+
 void CmpSystem::install_shard_plan(std::uint32_t shards) {
   // Slot layout (fixed by the constructor above and the hierarchy):
   // dirs [0, N), sbs [N, 2N), qolbs [2N, 3N), l1s [3N, 4N), mesh 4N,
@@ -128,12 +136,52 @@ void CmpSystem::install_shard_plan(std::uint32_t shards) {
   for (std::uint32_t t = 0; t < tile_shard.size(); ++t) {
     tile_shard[t] = shard_of_core(std::min<CoreId>(t, n - 1), shards);
   }
-  mesh_.set_sharding(shards, std::move(tile_shard));
+
+  // Multi-cycle lookahead windows need the mesh region layer. They are
+  // available whenever the fault domain is off (fault routing is global
+  // state the regions cannot partition) and the engine idle-skips
+  // (windows are built on local-clock jumps); --shard-window 1 opts a
+  // run back into pure per-cycle lockstep.
+  const Cycle per_hop = cfg_.noc.router_latency + cfg_.noc.link_latency;
+  const bool window_capable =
+      cfg_.shard_window != 1 && !cfg_.fault.mesh.enabled &&
+      cfg_.engine_mode == EngineMode::kEventDriven && per_hop >= 1;
+  plan.window = window_capable ? cfg_.shard_window : 1;
+  plan.horizon =
+      sim::lookahead_horizon(tile_shard, cfg_.mesh_width(), per_hop);
+  if (window_capable) {
+    // Region sharding cannot carry analytic express flights; fold any
+    // live ones back into router state first (bit-identical either way —
+    // that is the express contract).
+    mesh_.materialize_expresses(engine_.now());
+  }
+  mesh_.set_sharding(shards, std::move(tile_shard), window_capable);
   hierarchy_.msg_pool().set_concurrent(true);
 
   sim::ShardHooks hooks;
   hooks.pre_coordinator = [this] { mesh_.flush_staged(); };
   hooks.post_waves = [this] { mesh_.flush_staged(); };
+  if (window_capable) {
+    hooks.window_limits = [this](Cycle now) {
+      return mesh_.window_limits(now);
+    };
+    hooks.begin_window = [this](Cycle start, Cycle end) {
+      mesh_.begin_window(start, end);
+    };
+    hooks.tick_region = [this](std::uint32_t shard, Cycle now) {
+      mesh_.tick_region(shard, now);
+    };
+    hooks.region_busy = [this](std::uint32_t shard) {
+      return mesh_.region_busy(shard);
+    };
+    hooks.end_window = [this](Cycle end) { return mesh_.end_window(end); };
+    hooks.mem_waiters = [this] {
+      for (const auto& c : cores_) {
+        if (c->in_memory_wait()) return true;
+      }
+      return false;
+    };
+  }
   engine_.set_shard_plan(std::move(plan), std::move(hooks));
 }
 

@@ -47,6 +47,14 @@ class CmpSystem {
   /// us to that). The restore path uses this to hand a checkpoint
   /// replayed at its recorded shard count over to the requested one.
   void set_shards(std::uint32_t n);
+  /// Current conservative-lookahead window length knob (see
+  /// CmpConfig::shard_window; live value, not the construction-time one).
+  std::uint32_t shard_window() const { return cfg_.shard_window; }
+  /// Re-windows the live machine between cycles. Like set_shards() this
+  /// is pure execution strategy — results are bit-identical for every
+  /// value. The restore path replays a checkpoint at its recorded window
+  /// length, then switches to the requested one here.
+  void set_shard_window(std::uint32_t w);
   /// Shard owning core `c` (contiguous tile bands) under `shards`.
   std::uint32_t shard_of_core(CoreId c, std::uint32_t shards) const {
     return static_cast<std::uint32_t>(

@@ -64,6 +64,9 @@ RunResult run_workload(Workload& workload, const RunConfig& cfg,
     r.perf.msg.express_hits = xp.hits;
     r.perf.msg.express_declined = xp.declined;
     r.perf.msg.express_materialized = xp.materialized;
+    r.perf.shard.staged_packets = sys.mesh().staged_sends();
+    r.perf.shard.boundary_flits = sys.mesh().boundary_flits();
+    r.perf.shard.windowed_sends = sys.mesh().windowed_sends();
   }
   workload.verify(ctx);
 

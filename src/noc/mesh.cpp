@@ -14,7 +14,11 @@
 namespace glocks::noc {
 
 Mesh::Mesh(std::uint32_t num_tiles, std::uint32_t width, NocConfig cfg)
-    : width_(width), cfg_(cfg), nics_(num_tiles), sinks_(num_tiles) {
+    : width_(width),
+      cfg_(cfg),
+      nics_(num_tiles),
+      sinks_(num_tiles),
+      tile_seq_(num_tiles, 0) {
   GLOCKS_CHECK(width_ >= 1, "mesh width must be positive");
   const RouterTiming timing{cfg_.router_latency, cfg_.link_latency,
                             cfg_.input_queue_depth};
@@ -61,6 +65,13 @@ std::string Mesh::debug_dump() const {
   std::ostringstream oss;
   oss << "  in flight " << in_flight_ << " (" << express_.size()
       << " express)\n";
+  std::size_t staged_flits = 0;
+  for (const BoundaryLink& bl : blinks_) {
+    for (const auto& q : bl.staged) staged_flits += q.size();
+  }
+  if (staged_flits > 0) {
+    oss << "  boundary-staged flits " << staged_flits << "\n";
+  }
   for (std::uint32_t t = 0; t < nics_.size(); ++t) {
     std::size_t backlog = 0;
     for (const auto& outbox : nics_[t].outbox) backlog += outbox.size();
@@ -78,8 +89,18 @@ void Mesh::set_sink(CoreId tile, Router::Sink sink) {
   // dormancy decision below depends on it. The router ejects through the
   // same wrapper, so hop-by-hop and express deliveries are accounted
   // identically.
-  sinks_[tile] = [this, s = std::move(sink)](Packet&& p) {
-    --in_flight_;
+  sinks_[tile] = [this, tile, s = std::move(sink)](Packet&& p) {
+    if (epoch_windowed_) {
+      // Inside a window the ejecting worker owns only its region's
+      // counters; the in-flight delta folds into the census at the
+      // barrier. epoch_windowed_ is set/cleared on the main thread
+      // around the crew waves, so workers read it race-free.
+      Region& r = regions_[tile_shard_[tile]];
+      --r.load;
+      --r.in_flight_delta;
+    } else {
+      --in_flight_;
+    }
     s(std::move(p));
   };
   routers_[tile]->set_sink(
@@ -94,9 +115,16 @@ void Mesh::send(Packet&& p, Cycle now) {
                                                                 << ")");
   if (num_shards_ > 1) {
     if (const sim::WorkerScope* ws = sim::Engine::current_worker()) {
-      // A shard worker may not touch the fabric: stage the send for the
-      // barrier flush. The per-shard buffer stays in ascending
-      // sender-slot order because each worker ticks its slots in order.
+      if (epoch_windowed_) {
+        // Windowed epoch: the worker owns its whole region, so the send
+        // enters its own tile's NIC directly — no barrier round-trip.
+        send_windowed(ws->shard, std::move(p));
+        return;
+      }
+      // Lockstep epoch: a shard worker may not touch the fabric; stage
+      // the send for the barrier flush. The per-shard buffer stays in
+      // ascending sender-slot order because each worker ticks its slots
+      // in order.
       staged_[ws->shard].push_back(Staged{ws->slot, std::move(p), now});
       return;
     }
@@ -104,15 +132,38 @@ void Mesh::send(Packet&& p, Cycle now) {
   send_now(std::move(p), now);
 }
 
-void Mesh::send_now(Packet&& p, Cycle now) {
-#ifndef NDEBUG
+void Mesh::stamp_seq(Packet& p) {
   // Pooled payload nodes are reused, but a Packet's identity is its seq,
   // stamped fresh for every injection — tracing stays unambiguous as
-  // long as the counter cannot wrap within a run.
-  GLOCKS_CHECK(next_seq_ != std::numeric_limits<std::uint64_t>::max(),
-               "Packet::seq exhausted within one run");
+  // long as a stream cannot wrap within a run. Streams are per source
+  // tile (tile in the top bits): tile T's k-th injection is the same
+  // logical packet under every execution strategy, so checkpoints stay
+  // byte-identical across shard counts and window lengths, and a
+  // windowed worker stamps its own tiles' sends without synchronization.
+#ifndef NDEBUG
+  GLOCKS_CHECK(tile_seq_[p.src] < (std::uint64_t{1} << 40),
+               "Packet::seq stream exhausted for tile " << p.src);
 #endif
-  p.seq = next_seq_++;
+  p.seq = (static_cast<std::uint64_t>(p.src) << 40) | tile_seq_[p.src]++;
+}
+
+void Mesh::send_windowed(std::uint32_t shard, Packet&& p) {
+  GLOCKS_CHECK(tile_shard_[p.src] == shard,
+               "windowed send from tile " << p.src << " outside shard "
+                                          << shard);
+  stamp_seq(p);
+  Region& r = regions_[shard];
+  ++r.load;
+  ++r.in_flight_delta;
+  ++r.sent;
+  nics_[p.src].outbox[static_cast<std::size_t>(p.cls)].push_back(
+      std::move(p));
+  // No wake: the engine re-syncs the coordinator slot's activity from
+  // the folded census at the window boundary.
+}
+
+void Mesh::send_now(Packet&& p, Cycle now) {
+  stamp_seq(p);
   const bool express = try_express(p, now);
   ++in_flight_;
   if (express) return;  // try_express took ownership and armed the wake
@@ -135,10 +186,28 @@ void Mesh::send(CoreId src, CoreId dst, MsgClass cls,
 }
 
 void Mesh::set_sharding(std::uint32_t num_shards,
-                        std::vector<std::uint32_t> tile_shard) {
+                        std::vector<std::uint32_t> tile_shard,
+                        bool window_capable) {
   for (const auto& buf : staged_) {
     GLOCKS_CHECK(buf.empty(), "set_sharding with staged sends pending");
   }
+  GLOCKS_CHECK(!epoch_windowed_, "set_sharding inside a window");
+  for (const BoundaryLink& bl : blinks_) {
+    for (const auto& q : bl.staged) {
+      GLOCKS_CHECK(q.empty(), "set_sharding with staged boundary flits");
+    }
+  }
+  // Tear down any previous region plan (folding is a no-op between
+  // epochs — every delta folds at window/tick end — but keeps the
+  // totals right even on error paths).
+  if (window_mode_) fold_regions();
+  for (auto& r : routers_) {
+    r->clear_boundaries();
+    r->rebind_stats(&stats_);
+  }
+  regions_.clear();
+  blinks_.clear();
+  window_mode_ = false;
   if (num_shards <= 1) {
     num_shards_ = 1;
     tile_shard_.clear();
@@ -151,6 +220,56 @@ void Mesh::set_sharding(std::uint32_t num_shards,
   num_shards_ = num_shards;
   tile_shard_ = std::move(tile_shard);
   staged_.assign(num_shards_, {});
+  if (!window_capable) return;
+
+  // Region plan: the fabric itself splits into per-shard tile blocks so
+  // windowed epochs can tick it in parallel.
+  GLOCKS_CHECK(fault_ == nullptr,
+               "window-capable sharding with the fault domain armed");
+  GLOCKS_CHECK(express_.empty(),
+               "window-capable sharding with live express flights "
+               "(materialize first)");
+  GLOCKS_CHECK(cfg_.router_latency + cfg_.link_latency >= 1,
+               "window-capable sharding needs a positive per-hop latency");
+  const auto tiles = static_cast<std::uint32_t>(nics_.size());
+  regions_.resize(num_shards_);
+  std::uint32_t t = 0;
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
+    regions_[s].tile_begin = t;
+    while (t < tiles && tile_shard_[t] == s) ++t;
+    regions_[s].tile_end = t;
+  }
+  GLOCKS_CHECK(t == tiles,
+               "window-capable tile->shard map must be block-contiguous "
+               "in ascending shard order");
+  // Per-region stat buckets: concurrent region ticks record into their
+  // own bucket; fold_regions moves them into the shared totals at every
+  // barrier, so end-of-run reads see exactly the serial counters.
+  // regions_ is sized once above — the bucket pointers stay valid.
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    routers_[i]->rebind_stats(&regions_[tile_shard_[i]].stats);
+  }
+  // Boundary taps on every directed cross-region link (same neighbor
+  // geometry as the constructor wiring).
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    const std::uint32_t x = i % width_;
+    const std::uint32_t y = i / width_;
+    const auto tap = [&](Dir d, std::uint32_t n) {
+      if (tile_shard_[n] == tile_shard_[i]) return;
+      BoundaryLink bl;
+      bl.src = i;
+      bl.dst = n;
+      bl.in = opposite(d);
+      blinks_.push_back(std::move(bl));
+      routers_[i]->set_boundary(
+          this, d, static_cast<std::int32_t>(blinks_.size() - 1));
+    };
+    if (x + 1 < width_ && i + 1 < tiles) tap(Dir::kEast, i + 1);
+    if (x > 0) tap(Dir::kWest, i - 1);
+    if (i + width_ < tiles) tap(Dir::kSouth, i + width_);
+    if (y > 0) tap(Dir::kNorth, i - width_);
+  }
+  window_mode_ = true;
 }
 
 void Mesh::flush_staged() {
@@ -161,6 +280,7 @@ void Mesh::flush_staged() {
   std::size_t remaining = 0;
   for (const auto& buf : staged_) remaining += buf.size();
   if (remaining == 0) return;
+  staged_sends_ += remaining;
   std::vector<std::size_t> idx(staged_.size(), 0);
   while (remaining > 0) {
     std::size_t best = staged_.size();
@@ -225,12 +345,15 @@ void Mesh::walk_route(const Flight& f, Fn&& fn) const {
 
 bool Mesh::route_conflicts(const Flight& cand) const {
   // A flight's trajectory is rigid, so two flights coexist exactly when
-  // no router resource is claimed twice: (a) an output port forwards one
-  // packet per cycle, (b) a (port, class) FIFO releases one head per
-  // cycle, and (c) a FIFO never holds more than input_queue_depth
-  // entries. (c) is checked by counting window overlaps, which
-  // over-approximates peak occupancy — over-approximation only causes a
-  // spurious decline, and the hop-by-hop path is always exact.
+  // no router resource is claimed twice: (a) no router is made busy by
+  // two flights on the same cycle — busy cycles are a flight's switch
+  // traversals plus its final local delivery, and the round-robin
+  // rotation is credited one step per busy cycle per router, so a shared
+  // (tile, cycle) would double-count a rotation the serial scan performs
+  // once; (b) a FIFO never holds more than input_queue_depth entries,
+  // checked by counting window overlaps, which over-approximates peak
+  // occupancy. Over-approximation only causes a spurious decline, and
+  // the hop-by-hop path is always exact.
   constexpr std::size_t kMaxRoute = 128;
   if (cand.hops + 1 > kMaxRoute) return true;  // decline absurd routes
   const Cycle hop = cfg_.router_latency + cfg_.link_latency;
@@ -239,20 +362,18 @@ bool Mesh::route_conflicts(const Flight& cand) const {
   for (const Flight& b : express_) {
     walk_route(cand, [&](std::uint32_t ka, std::uint32_t ta, Dir ina,
                          Dir outa, Cycle ca) {
+      (void)outa;
       if (conflict) return;
       const Cycle ea = ka == 0 ? cand.inject : ca - hop;  // FIFO entry
       walk_route(b, [&](std::uint32_t kb, std::uint32_t tb, Dir inb,
                         Dir outb, Cycle cb) {
+        (void)outb;
         if (conflict || ta != tb) return;
-        if (ca == cb && outa == outb) {  // output-port double-booking
+        if (ca == cb) {  // same router busy on the same cycle
           conflict = true;
           return;
         }
         const bool same_queue = ina == inb && cand.pkt.cls == b.pkt.cls;
-        if (ca == cb && same_queue) {  // same-cycle head release
-          conflict = true;
-          return;
-        }
         if (same_queue) {
           const Cycle eb = kb == 0 ? b.inject : cb - hop;
           if (ea < cb && eb < ca &&  // residency windows [e, c) overlap
@@ -261,13 +382,35 @@ bool Mesh::route_conflicts(const Flight& cand) const {
           }
         }
       });
+      // b's final delivery makes its destination router busy too.
+      if (!conflict && ta == b.pkt.dst && ca == b.arrival) conflict = true;
     });
+    if (!conflict) {
+      walk_route(b, [&](std::uint32_t kb, std::uint32_t tb, Dir inb,
+                        Dir outb, Cycle cb) {
+        (void)kb;
+        (void)inb;
+        (void)outb;
+        if (tb == cand.pkt.dst && cb == cand.arrival) conflict = true;
+      });
+      if (cand.pkt.dst == b.pkt.dst && cand.arrival == b.arrival) {
+        conflict = true;
+      }
+    }
     if (conflict) break;
   }
   return conflict;
 }
 
 bool Mesh::try_express(Packet& p, Cycle now) {
+  if (window_mode_) {
+    // Regions own the fabric under a window plan: an analytic flight
+    // would span shard state, so every send takes the physical path.
+    // (Windowed sends never reach here; their declines are tallied at
+    // the fold, so every send still counts exactly once.)
+    ++xperf_.declined;
+    return false;
+  }
   if (fault_ != nullptr) {
     // Faulted routes are not analytically rigid (fates, retransmissions
     // and detours all depend on the cycle-by-cycle state), so the fault
@@ -322,18 +465,6 @@ bool Mesh::try_express(Packet& p, Cycle now) {
 void Mesh::materialize_all(Cycle now) {
   if (express_.empty()) return;
   const Cycle t_next = next_tick_at(now);
-  // The physical fabric would have been occupied (and ticking) ever
-  // since these flights were injected, so fold the round-robin rotation
-  // for the cycles the dormant mesh skipped before re-seeding the
-  // queues; the tick at t_next then sees gap == 0.
-  if (last_tick_ != kNoCycle) {
-    const Cycle vgap = (t_next - 1) - last_tick_;
-    if (vgap > 0) {
-      for (auto& r : routers_) r->catch_up(vgap);
-      last_tick_ += vgap;
-    }
-  }
-  const Cycle hop = cfg_.router_latency + cfg_.link_latency;
   placements_.clear();
   for (std::size_t fi = 0; fi < express_.size(); ++fi) {
     const Flight& f = express_[fi];
@@ -352,6 +483,12 @@ void Mesh::materialize_all(Cycle now) {
             Placement{tile, in, /*ejection=*/false, f.pkt.cls, fwd, fi});
         placed = true;
         hops_done = k;  // switches k..hops still happen physically
+      } else {
+        // This switch already happened on the virtual timeline: the
+        // router saw a ready head on cycle `fwd` (nothing else was in
+        // the fabric), so credit its round-robin rotation. Switches
+        // k..hops advance it live as the re-seeded entries mature.
+        routers_[tile]->credit_busy_tick();
       }
     });
     if (!placed) {
@@ -434,6 +571,22 @@ void Mesh::deliver_due_express(Cycle now) {
     for (std::uint32_t k = 0; k <= f.hops; ++k) {
       stats_.record_hop(f.pkt.cls, f.pkt.size_bytes);
     }
+    // Credit the round-robin rotations the hop-by-hop path would have
+    // performed: one busy cycle per switch traversal (every fwd cycle is
+    // in the past — the last one was arrival - router_latency), plus the
+    // delivery cycle at the destination. The fabric was physically empty
+    // for the flight's whole life and route_conflicts guarantees no two
+    // flights share a (tile, cycle), so each credit is exactly one
+    // rotation the serial scan performed.
+    walk_route(f, [this](std::uint32_t k, std::uint32_t tile, Dir in,
+                         Dir out, Cycle fwd) {
+      (void)k;
+      (void)in;
+      (void)out;
+      (void)fwd;
+      routers_[tile]->credit_busy_tick();
+    });
+    routers_[f.pkt.dst]->credit_busy_tick();
   }
   for (Flight& f : delivering_) {
     const CoreId dst = f.pkt.dst;
@@ -447,13 +600,9 @@ void Mesh::deliver_due_express(Cycle now) {
 void Mesh::tick(Cycle now) {
   if (last_tick_ != kNoCycle) {
     GLOCKS_CHECK(now > last_tick_, "mesh ticked out of order");
-    const Cycle gap = now - last_tick_ - 1;
-    if (gap > 0) {
-      // The kernel skipped cycles while the network was empty; fold the
-      // missed round-robin rotations in so arbitration order (and every
-      // downstream byte) matches the tick-everything loop.
-      for (auto& r : routers_) r->catch_up(gap);
-    }
+    // Skipped cycles need no repair: an idle router tick has no
+    // architectural effect (the round-robin pointer only moves on
+    // ready-head cycles), so a dormant span folds to nothing.
   }
   last_tick_ = now;
   // Fault-domain work precedes arbitration: scripted kills and guard
@@ -478,6 +627,15 @@ void Mesh::tick(Cycle now) {
   // from inside a sink is injected next cycle on either path).
   deliver_due_express(now);
   for (auto& r : routers_) r->tick(now);
+  if (window_mode_) {
+    // Lockstep epoch under a window plan: cross-region forwards were
+    // staged by the boundary taps (live capacity reads — exact). Deliver
+    // them now; every entry lands before its ready cycle and each input
+    // port has a single feeder, so next-cycle arbitration is
+    // byte-identical to the direct forward.
+    flush_boundary();
+    fold_regions();
+  }
   // A non-empty fabric may move a packet any cycle (and backpressure
   // resolution has no wake signal), so only an empty one may sleep.
   // Express flights don't count: each carries its own armed wake. With
@@ -486,12 +644,195 @@ void Mesh::tick(Cycle now) {
   if (fault_ == nullptr && fabric_empty()) sleep();
 }
 
+sim::MeshWindowLimits Mesh::window_limits(Cycle now) const {
+  sim::MeshWindowLimits ml;
+  if (!window_mode_ || fault_ != nullptr) {
+    ml.lockstep = true;
+    return ml;
+  }
+  GLOCKS_CHECK(express_.empty(), "express flight under a window plan");
+  ml.busy = in_flight_ > 0;
+  if (!ml.busy) return ml;
+  // Busy fabric: a window stays exact until the first cycle a forward
+  // could physically cross a boundary (one hop: router + link latency)
+  // or a boundary FIFO could fill past its frozen base. The headroom
+  // clamp guarantees base + staged < depth at every in-window capacity
+  // check (at most one flit stages per link per cycle), so the taps
+  // never decline a forward the serial scan accepts.
+  const Cycle per_hop = cfg_.router_latency + cfg_.link_latency;
+  std::uint64_t headroom = ~std::uint64_t{0};
+  for (const BoundaryLink& bl : blinks_) {
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+      const std::uint32_t sz =
+          routers_[bl.dst]->queue_size(bl.in, static_cast<MsgClass>(c));
+      const std::uint64_t room =
+          sz >= cfg_.input_queue_depth ? 0 : cfg_.input_queue_depth - sz;
+      headroom = std::min(headroom, room);
+    }
+  }
+  if (headroom == 0) {
+    // A boundary FIFO is brim-full: a frozen-base check could decline a
+    // forward the live scan accepts (the FIFO may drain mid-window).
+    // Lockstep epochs read live state, so they are always exact.
+    ml.lockstep = true;
+    return ml;
+  }
+  ml.max_end = now + std::min<std::uint64_t>(per_hop, headroom);
+  // Conservative lower bound on the earliest sink delivery anywhere:
+  // the planner stops mem-waiter windows here so a delivery chain can
+  // never wake a core mid-window. A NIC-backlogged packet needs an
+  // inject (ready +1) and an ejection traversal; queued packets bound
+  // through their head ready cycles.
+  Cycle d = kNoCycle;
+  for (std::uint32_t t = 0; t < nics_.size(); ++t) {
+    for (const auto& outbox : nics_[t].outbox) {
+      if (!outbox.empty()) {
+        d = std::min(d, now + 1 + cfg_.router_latency);
+        break;
+      }
+    }
+    const Router& r = *routers_[t];
+    d = std::min(d, r.local_head_ready());
+    const Cycle ir = r.earliest_input_ready();
+    if (ir != kNoCycle) d = std::min(d, ir + cfg_.router_latency);
+  }
+  ml.delivery = d;
+  return ml;
+}
+
+void Mesh::begin_window(Cycle start, Cycle end) {
+  (void)start;
+  (void)end;
+  GLOCKS_CHECK(window_mode_ && !epoch_windowed_,
+               "begin_window without a region plan (or nested)");
+  // Region loads are recomputed from scratch so lockstep epochs (which
+  // move packets without touching them) need no bookkeeping.
+  for (Region& r : regions_) r.load = 0;
+  for (std::uint32_t t = 0; t < nics_.size(); ++t) {
+    std::uint64_t held = routers_[t]->occupancy();
+    for (const auto& outbox : nics_[t].outbox) held += outbox.size();
+    regions_[tile_shard_[t]].load += held;
+  }
+  for (BoundaryLink& bl : blinks_) {
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+      bl.base[c] =
+          routers_[bl.dst]->queue_size(bl.in, static_cast<MsgClass>(c));
+    }
+  }
+  epoch_windowed_ = true;
+}
+
+void Mesh::tick_region(std::uint32_t shard, Cycle now) {
+  Region& r = regions_[shard];
+  if (r.load == 0) return;
+  r.last_tick = now;
+  // Same per-cycle order as the serial mesh tick, restricted to the
+  // region's tiles: NIC drains first (so last cycle's sends can enter
+  // the fabric), then the routers in ascending tile order.
+  for (std::uint32_t t = r.tile_begin; t < r.tile_end; ++t) {
+    for (auto& outbox : nics_[t].outbox) {
+      while (!outbox.empty()) {
+        if (!routers_[t]->inject(std::move(outbox.front()), now)) break;
+        outbox.pop_front();
+      }
+    }
+  }
+  for (std::uint32_t t = r.tile_begin; t < r.tile_end; ++t) {
+    routers_[t]->tick(now);
+  }
+}
+
+bool Mesh::end_window(Cycle end) {
+  (void)end;
+  GLOCKS_CHECK(epoch_windowed_, "end_window outside a window");
+  epoch_windowed_ = false;
+  flush_boundary();
+  fold_regions();
+  return in_flight_ > 0;
+}
+
+bool Mesh::boundary_can_accept(std::int32_t link, MsgClass cls) const {
+  const BoundaryLink& bl = blinks_[static_cast<std::size_t>(link)];
+  const auto c = static_cast<std::size_t>(cls);
+  // Windowed: frozen base (the downstream FIFO belongs to another
+  // thread). Lockstep: live depth — exactly what can_accept() reads.
+  const std::uint32_t queued =
+      epoch_windowed_ ? bl.base[c]
+                      : routers_[bl.dst]->queue_size(bl.in, cls);
+  return queued + bl.staged[c].size() < cfg_.input_queue_depth;
+}
+
+void Mesh::boundary_stage(std::int32_t link, Packet&& p, Cycle ready) {
+  BoundaryLink& bl = blinks_[static_cast<std::size_t>(link)];
+  if (epoch_windowed_) {
+    // The packet leaves the source region now; the destination region
+    // counts it when the flush delivers it.
+    --regions_[tile_shard_[bl.src]].load;
+  }
+  bl.staged[static_cast<std::size_t>(p.cls)].push_back(
+      StagedFlit{ready, std::move(p)});
+}
+
+void Mesh::flush_boundary() {
+  for (BoundaryLink& bl : blinks_) {
+    for (auto& q : bl.staged) {
+      for (StagedFlit& f : q) {
+        // Always before f.ready (windows are capped at the per-hop
+        // latency and lockstep flushes happen the same cycle), so the
+        // downstream arbitration sees exactly the serial entry.
+        routers_[bl.dst]->accept(bl.in, std::move(f.pkt), f.ready);
+        ++regions_[tile_shard_[bl.dst]].load;
+        ++boundary_flits_;
+      }
+      q.clear();
+    }
+  }
+}
+
+void Mesh::fold_regions() {
+  for (Region& r : regions_) {
+    in_flight_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(in_flight_) + r.in_flight_delta);
+    r.in_flight_delta = 0;
+    windowed_sends_ += r.sent;
+    // Every windowed send is a declined express (the physical path was
+    // taken from the start) — the tally-exactly-once invariant.
+    xperf_.declined += r.sent;
+    r.sent = 0;
+    if (r.last_tick != kNoCycle) {
+      last_tick_ = last_tick_ == kNoCycle
+                       ? r.last_tick
+                       : std::max(last_tick_, r.last_tick);
+    }
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+      const auto cls = static_cast<MsgClass>(c);
+      if (r.stats.bytes(cls) == 0 && r.stats.packets(cls) == 0 &&
+          r.stats.hops(cls) == 0) {
+        continue;
+      }
+      stats_.set(cls, stats_.bytes(cls) + r.stats.bytes(cls),
+                 stats_.packets(cls) + r.stats.packets(cls),
+                 stats_.hops(cls) + r.stats.hops(cls));
+      r.stats.set(cls, 0, 0, 0);
+    }
+  }
+}
+
 void Mesh::save(ckpt::ArchiveWriter& a, const PayloadCodec& codec) const {
   // Checkpoints are taken between cycles, after the barrier hooks ran —
   // the staging buffers must be empty, so the archive format needs no
   // shard-dependent sections.
   for (const auto& buf : staged_) {
     GLOCKS_CHECK(buf.empty(), "mesh save with staged sends pending");
+  }
+  // Checkpoints land at window boundaries (the planner clamps every
+  // window at the pause cycle), so the boundary staging buffers are
+  // flushed and the archive needs no window-dependent sections.
+  GLOCKS_CHECK(!epoch_windowed_, "mesh save inside a window");
+  for (const BoundaryLink& bl : blinks_) {
+    for (const auto& q : bl.staged) {
+      GLOCKS_CHECK(q.empty(), "mesh save with staged boundary flits");
+    }
   }
   for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
     const auto cls = static_cast<MsgClass>(c);
@@ -502,7 +843,7 @@ void Mesh::save(ckpt::ArchiveWriter& a, const PayloadCodec& codec) const {
   a.u64(xperf_.hits);
   a.u64(xperf_.declined);
   a.u64(xperf_.materialized);
-  a.u64(next_seq_);
+  for (const std::uint64_t s : tile_seq_) a.u64(s);
   a.u64(last_tick_);
   a.u64(in_flight_);
   a.u64(nics_.size());
@@ -538,7 +879,7 @@ void Mesh::load(ckpt::ArchiveReader& a, const PayloadCodec& codec) {
   xperf_.hits = a.u64();
   xperf_.declined = a.u64();
   xperf_.materialized = a.u64();
-  next_seq_ = a.u64();
+  for (std::uint64_t& s : tile_seq_) s = a.u64();
   last_tick_ = a.u64();
   in_flight_ = a.u64();
   const std::uint64_t tiles = a.u64();

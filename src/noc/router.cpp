@@ -7,12 +7,12 @@ namespace glocks::noc {
 
 Router::Router(std::uint32_t x, std::uint32_t y, std::uint32_t mesh_w,
                RouterTiming timing, TrafficStats& stats)
-    : x_(x), y_(y), mesh_w_(mesh_w), timing_(timing), stats_(stats) {}
+    : x_(x), y_(y), mesh_w_(mesh_w), timing_(timing), stats_(&stats) {}
 
 bool Router::inject(Packet&& p, Cycle now) {
   auto& q = in_[idx(Dir::kLocal)][static_cast<std::size_t>(p.cls)];
   if (q.size() >= timing_.input_queue_depth) return false;
-  stats_.record_injection(p.cls);
+  stats_->record_injection(p.cls);
   q.push_back(Timed{now + 1, std::move(p)});
   ++occupancy_;
   return true;
@@ -63,6 +63,17 @@ Packet Router::take_head(Dir in, MsgClass cls) {
   return p;
 }
 
+Cycle Router::earliest_input_ready() const {
+  if (occupancy_ == 0) return kNoCycle;
+  Cycle best = kNoCycle;
+  for (const auto& port : in_) {
+    for (const auto& q : port) {
+      if (!q.empty() && q.front().ready < best) best = q.front().ready;
+    }
+  }
+  return best;
+}
+
 Dir Router::route(std::uint32_t dst_x, std::uint32_t dst_y) const {
   // XY dimension-order: resolve X first, then Y. Deadlock-free on a mesh.
   if (dst_x > x_) return Dir::kEast;
@@ -74,7 +85,7 @@ Dir Router::route(std::uint32_t dst_x, std::uint32_t dst_y) const {
 
 void Router::forward(Dir out, Packet&& p, Cycle now) {
   // Every switch traversal counts towards the Figure 9 byte totals.
-  stats_.record_hop(p.cls, p.size_bytes);
+  stats_->record_hop(p.cls, p.size_bytes);
   if (out == Dir::kLocal) {
     local_out_.push_back(Timed{now + timing_.router_latency, std::move(p)});
     ++occupancy_;
@@ -88,17 +99,18 @@ void Router::forward(Dir out, Packet&& p, Cycle now) {
 }
 
 void Router::tick(Cycle now) {
-  // Empty-router fast path: the only architectural effect of ticking an
-  // empty router is the round-robin rotation.
-  if (occupancy_ == 0) {
-    rr_ = (rr_ + 1) % kSlots;
-    return;
-  }
+  // Empty-router fast path: a tick with nothing resident has no
+  // architectural effect at all — the round-robin pointer only rotates
+  // on cycles where arbitration saw a ready head, so idle cycles can be
+  // skipped (globally or per region) without changing a single byte.
+  if (occupancy_ == 0) return;
+  bool busy = false;
 
   // Deliver matured local packets (at most one per cycle: the local
   // ejection port has unit bandwidth like every other port).
   if (!local_out_.empty() && local_out_.front().ready <= now) {
     GLOCKS_CHECK(sink_, "router (" << x_ << "," << y_ << ") has no sink");
+    busy = true;
     Packet p = std::move(local_out_.front().pkt);
     local_out_.pop_front();
     --occupancy_;
@@ -116,6 +128,7 @@ void Router::tick(Cycle now) {
     const std::size_t vc = slot % kNumMsgClasses;
     auto& q = in_[i][vc];
     if (q.empty() || q.front().ready > now) continue;
+    busy = true;  // a ready head was arbitrated, even if it ends up held
     Packet& head = q.front().pkt;
     Dir out;
     if (fault_ != nullptr) {
@@ -131,6 +144,23 @@ void Router::tick(Cycle now) {
       out = route(head.dst % mesh_w_, head.dst / mesh_w_);
     }
     if (out_used[idx(out)]) continue;
+    if (out != Dir::kLocal && blink_[idx(out)] >= 0 && fault_ == nullptr) {
+      // Cross-region link: the downstream FIFO belongs to another shard.
+      // Stage the forward with the mesh instead of touching it directly;
+      // the stager's capacity check answers exactly what can_accept()
+      // would have.
+      const std::int32_t link = blink_[idx(out)];
+      if (!stager_->boundary_can_accept(link, head.cls)) continue;
+      out_used[idx(out)] = true;
+      Packet p = std::move(head);
+      q.pop_front();
+      --occupancy_;
+      stats_->record_hop(p.cls, p.size_bytes);
+      stager_->boundary_stage(
+          link, std::move(p),
+          now + timing_.router_latency + timing_.link_latency);
+      continue;
+    }
     if (out != Dir::kLocal) {
       if (!neighbors_[idx(out)]->can_accept(opposite(out), head.cls)) {
         continue;  // backpressure: downstream FIFO (same class) full
@@ -154,14 +184,7 @@ void Router::tick(Cycle now) {
     --occupancy_;
     forward(out, std::move(p), now);
   }
-  rr_ = (rr_ + 1) % kSlots;
-}
-
-void Router::catch_up(Cycle gap) {
-  GLOCKS_CHECK(occupancy_ == 0,
-               "router (" << x_ << "," << y_
-                          << ") caught up across cycles while occupied");
-  rr_ = static_cast<std::uint32_t>((rr_ + gap) % kSlots);
+  if (busy) rr_ = (rr_ + 1) % kSlots;
 }
 
 void save_packet(ckpt::ArchiveWriter& a, const Packet& p,

@@ -1,6 +1,33 @@
 #include "sim/shard.hpp"
 
+#include <cstdlib>
+
 namespace glocks::sim {
+
+Cycle lookahead_horizon(const std::vector<std::uint32_t>& tile_shard,
+                        std::uint32_t mesh_width, Cycle per_hop) {
+  // H_min = minimum Manhattan distance between tiles of different
+  // shards. O(T^2) over at most a few thousand tiles, computed once per
+  // plan install. Block-contiguous maps put H_min >= 1; interleaved
+  // maps degrade to 1 (still a legal, if short, window).
+  const std::size_t n = tile_shard.size();
+  std::uint64_t h_min = ~std::uint64_t{0};
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::int64_t ax = static_cast<std::int64_t>(a % mesh_width);
+    const std::int64_t ay = static_cast<std::int64_t>(a / mesh_width);
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (tile_shard[a] == tile_shard[b]) continue;
+      const std::int64_t bx = static_cast<std::int64_t>(b % mesh_width);
+      const std::int64_t by = static_cast<std::int64_t>(b / mesh_width);
+      const std::uint64_t d = static_cast<std::uint64_t>(
+          std::llabs(ax - bx) + std::llabs(ay - by));
+      if (d < h_min) h_min = d;
+      if (h_min == 1) return 1 + per_hop;  // cannot get smaller
+    }
+  }
+  if (h_min == ~std::uint64_t{0}) return kNoCycle;  // single shard
+  return 1 + h_min * per_hop;
+}
 
 ShardCrew::ShardCrew(std::uint32_t workers,
                      std::function<void(std::uint32_t)> fn)

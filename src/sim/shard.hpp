@@ -3,16 +3,28 @@
 // worker crew that executes shard waves between deterministic barriers.
 //
 // The horizon argument (docs/simulation_model.md, "Sharded execution &
-// conservative lookahead"): the minimum cross-shard delivery delay in
-// the tiled machine is one full cycle — a message sent by a component
-// during cycle N is observable no earlier than cycle N+1 (NIC injection
-// plus at least one router traversal; the N -> N+1 visibility rule is
-// the floor even for same-tile delivery). One cycle is therefore always
-// a safe conservative lookahead, and the engine runs shards in lockstep
-// epochs of exactly one cycle: every shard ticks its own slots in
-// parallel, then all cross-shard effects (packets, wakes) are exchanged
-// at fixed barrier points in a deterministic merge order, so results
-// are bit-identical to the serial scan regardless of thread scheduling.
+// conservative lookahead"): a message sent by a component during cycle
+// N is observable no earlier than cycle N+1 (NIC injection plus at
+// least one router traversal; the N -> N+1 visibility rule is the floor
+// even for same-tile delivery), so one cycle is always a safe
+// conservative lookahead and the engine can always fall back to
+// lockstep epochs of exactly one cycle. But with block-contiguous tile
+// ownership the *cross-shard* delay is much larger: a packet must
+// physically route from its source tile to a boundary link before it
+// can touch another shard's state, and every hop costs
+// router_latency + link_latency cycles. If H_min is the minimum mesh
+// hop distance between tiles owned by different shards, the earliest a
+// send issued at cycle A can be staged across a boundary is
+// A + 1 + H_min * (router_latency + link_latency) — one cycle of NIC
+// injection, at least H_min - 1 switch traversals to reach the
+// boundary router, and one more link traversal to cross. That bound is
+// the window horizon: while the fabric is empty, shards may run
+// lookahead_horizon() cycles past the earliest possible send without
+// exchanging anything, each on its own local clock (idle-skip works
+// *inside* the window), meeting only at window boundaries to merge
+// staged boundary flits in a deterministic order. Results stay
+// bit-identical to the serial scan for every shard count and window
+// length.
 #pragma once
 
 #include <atomic>
@@ -21,27 +33,56 @@
 #include <thread>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace glocks::sim {
 
 /// Ownership map for sharded execution, indexed by engine slot.
 ///
 /// Slot layout contract (validated by Engine::set_shard_plan): sharded
 /// "wave A" slots first (per-tile memory-side components), then at most
-/// one kCoordinator slot (the mesh — ticked serially between waves,
-/// because it is the one component that touches every tile), then
-/// sharded "wave B" slots (cores), then a kSequential suffix (G-line
-/// wires, census) ticked serially at the epoch boundary.
+/// one kCoordinator slot (the mesh — ticked serially between waves in
+/// lockstep epochs, or region-sharded in windowed epochs), then sharded
+/// "wave B" slots (cores), then a kSequential suffix (G-line wires,
+/// census) ticked serially at the epoch boundary.
 struct ShardPlan {
   static constexpr std::uint32_t kCoordinator = 0xFFFFFFFEu;
   static constexpr std::uint32_t kSequential = 0xFFFFFFFFu;
   std::uint32_t num_shards = 1;
   /// Owner of each slot: a shard id, kCoordinator, or kSequential.
   std::vector<std::uint32_t> owner;
+  /// Requested window length: 1 = per-cycle lockstep (the PR-6
+  /// behaviour), 0 = auto (windows bounded only by the safety guards),
+  /// L > 1 = windows capped at L cycles. Ignored (forced to 1) unless
+  /// the window hooks below are installed.
+  Cycle window = 1;
+  /// Safe empty-fabric lookahead: 1 + H_min * per-hop latency. Computed
+  /// by lookahead_horizon() from the tile ownership map.
+  Cycle horizon = 1;
 };
 
-/// Barrier callbacks the system installs alongside a plan. Both run on
-/// the main thread with every worker parked (a full happens-before
-/// edge), which is what makes their effects deterministic.
+/// What the mesh reports to the window planner each epoch.
+struct MeshWindowLimits {
+  /// Run this epoch as a serial-coordinator lockstep cycle (fault domain
+  /// armed, a boundary FIFO at capacity, or no region support).
+  bool lockstep = false;
+  /// Fabric holds packets (router FIFOs, local-out queues or NIC
+  /// backlogs). When false the remaining fields are meaningless.
+  bool busy = false;
+  /// Latest legal window end while busy: min over (now + per-hop
+  /// latency) and (now + smallest boundary-FIFO headroom).
+  Cycle max_end = 0;
+  /// Earliest cycle any sink delivery could occur (conservative lower
+  /// bound). The planner clamps the window here only when a core is in
+  /// an unpredictable memory wait (a delivery chain could wake it).
+  Cycle delivery = kNoCycle;
+};
+
+/// Barrier callbacks the system installs alongside a plan. The flush
+/// pair runs on the main thread with every worker parked (a full
+/// happens-before edge), which is what makes their effects
+/// deterministic. The window group is optional; installing all of them
+/// (plus plan.window != 1) enables multi-cycle windowed epochs.
 struct ShardHooks {
   /// After wave A, before the coordinator slot ticks: flush staged
   /// cross-shard traffic from the memory-side components.
@@ -49,7 +90,37 @@ struct ShardHooks {
   /// After wave B, before the sequential tail: flush traffic staged by
   /// the cores.
   std::function<void()> post_waves;
+
+  // -- Windowed execution (all main-thread unless noted) --------------
+  /// Limits for a window starting at `now` (see MeshWindowLimits).
+  std::function<MeshWindowLimits(Cycle)> window_limits;
+  /// A windowed epoch [start, end) is about to run: freeze boundary
+  /// FIFO bases and switch sends to the direct per-region path.
+  std::function<void(Cycle, Cycle)> begin_window;
+  /// Ticks the mesh region owned by `shard` for one cycle. Called from
+  /// that shard's worker thread inside the window.
+  std::function<void(std::uint32_t, Cycle)> tick_region;
+  /// True when `shard`'s region holds packets (worker thread, own
+  /// region only).
+  std::function<bool(std::uint32_t)> region_busy;
+  /// The window ending at `end` has run: flush boundary flits, fold
+  /// per-region accounting. Returns true when the fabric is still busy
+  /// (keeps the coordinator slot active for global idle-skip).
+  std::function<bool(Cycle)> end_window;
+  /// True when any core sits in an unpredictable memory-side wait
+  /// (kMem/kSbWait/kQolbAcq/kQolbRel): a mesh delivery could wake it,
+  /// so windows must stop at the earliest possible delivery or
+  /// memory-side action.
+  std::function<bool()> mem_waiters;
 };
+
+/// Safe empty-fabric lookahead for a tile ownership map: 1 + H_min *
+/// per_hop, where H_min is the minimum Manhattan distance between two
+/// tiles owned by different shards (XY routing follows Manhattan
+/// paths). Returns kNoCycle when no cross-shard pair exists (a single
+/// shard owns every tile — windows are unbounded by sends).
+Cycle lookahead_horizon(const std::vector<std::uint32_t>& tile_shard,
+                        std::uint32_t mesh_width, Cycle per_hop);
 
 /// Persistent worker threads for shards 1..N-1 (the main thread runs
 /// shard 0 itself). Generation-counter barriers: begin_wave() releases

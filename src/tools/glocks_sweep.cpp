@@ -16,6 +16,10 @@
 //                         bytes are identical for every value, and a
 //                         --manifest sweep may resume under a different
 //                         shard count.
+//   --shard-window L      lookahead window length for the sharded
+//                         kernel (or GLOCKS_SHARD_WINDOW): 1 = lockstep,
+//                         0 = auto [default], L > 1 = capped windows.
+//                         Execution strategy like --shards.
 //   --all                 shorthand for every workload
 //   --faults SPEC         fault-injection plan for every grid point.
 //                         SPEC is a bare rate ("0.001") or a key=value
@@ -139,6 +143,15 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
     }
     GLOCKS_CHECK(spec.num_shards >= 1, "--shards must be >= 1");
+
+    if (args.has("shard-window")) {
+      spec.shard_window =
+          static_cast<std::uint32_t>(args.get_u64("shard-window", 0));
+    } else if (const char* env = std::getenv("GLOCKS_SHARD_WINDOW");
+               env != nullptr && *env != '\0') {
+      spec.shard_window =
+          static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    }
 
     if (args.has("faults")) {
       spec.fault = fault::parse_fault_spec(args.get("faults"));

@@ -44,6 +44,14 @@
 //                        to N for the remaining run. Incompatible with
 //                        --trace (trace events are appended from core
 //                        ticks, which run on shard workers).
+//   --shard-window L     conservative-lookahead window length for the
+//                        sharded kernel (or GLOCKS_SHARD_WINDOW when the
+//                        flag is absent): 1 = per-cycle lockstep, 0 =
+//                        auto (windows run to the safety bounds, the
+//                        default), L > 1 caps windows at L cycles. An
+//                        execution strategy like --shards — output is
+//                        bit-identical for every value. With --restore,
+//                        applies to the post-verification tail.
 //   --perf               print a simulator-throughput summary (wall time,
 //                        Mcycles/s, kernel tick/skip counters) to stderr;
 //                        stdout output is unchanged
@@ -112,6 +120,19 @@ std::optional<std::uint32_t> requested_shards(const tools::Args& args) {
   return std::nullopt;
 }
 
+/// --shard-window when given, else GLOCKS_SHARD_WINDOW from the
+/// environment, else nothing (the config default — auto — applies).
+std::optional<std::uint32_t> requested_window(const tools::Args& args) {
+  if (args.has("shard-window")) {
+    return static_cast<std::uint32_t>(args.get_u64("shard-window", 0));
+  }
+  const char* env = std::getenv("GLOCKS_SHARD_WINDOW");
+  if (env != nullptr && *env != '\0') {
+    return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,7 +149,8 @@ int main(int argc, char** argv) {
                    "--trace");
       const std::string path = args.get("restore");
       const auto meta = ckpt::read_checkpoint_meta(path);
-      const auto result = ckpt::restore_and_run(path, requested_shards(args));
+      const auto result = ckpt::restore_and_run(path, requested_shards(args),
+                                                requested_window(args));
       if (args.has("csv")) {
         harness::write_csv_header(std::cout, meta.spec.cmp.fault.enabled,
                                   meta.spec.cmp.fault.mesh.enabled);
@@ -158,6 +180,9 @@ int main(int argc, char** argv) {
     cfg.seed = args.get_u64("seed", 1);
     if (const auto shards = requested_shards(args)) {
       cfg.cmp.num_shards = *shards;
+    }
+    if (const auto window = requested_window(args)) {
+      cfg.cmp.shard_window = *window;
     }
 
     if (args.has("faults")) {

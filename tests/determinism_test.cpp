@@ -36,6 +36,7 @@ harness::RunResult run_once(const workloads::RegistryEntry& entry,
   cfg.policy.highly_contended = kind;
   cfg.seed = seed;
   cfg.cmp.num_shards = test::env_shards();
+  cfg.cmp.shard_window = test::env_shard_window();
   return harness::run_workload(*wl, cfg);
 }
 
@@ -84,6 +85,7 @@ harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = seed;
   cfg.cmp.num_shards = test::env_shards();
+  cfg.cmp.shard_window = test::env_shard_window();
   cfg.cmp.fault.enabled = true;
   cfg.cmp.fault.seed = seed * 31 + 5;
   cfg.cmp.fault.drop_rate = 1e-3;

@@ -42,6 +42,7 @@ TEST_P(FaultSoak, CompletesAndLedgerReconciles) {
   harness::RunConfig cfg;
   cfg.cmp.num_cores = 16;
   cfg.cmp.num_shards = test::env_shards();
+  cfg.cmp.shard_window = test::env_shard_window();
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = seed;
   cfg.cmp.fault.enabled = true;
@@ -100,6 +101,7 @@ TEST_P(MeshFaultSoak, CompletesAndLedgerReconciles) {
   harness::RunConfig cfg;
   cfg.cmp.num_cores = 16;
   cfg.cmp.num_shards = test::env_shards();
+  cfg.cmp.shard_window = test::env_shard_window();
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = seed;
   cfg.cmp.fault.seed = seed * 1000003 + std::get<1>(GetParam());

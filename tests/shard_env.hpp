@@ -1,8 +1,10 @@
-// Shard count for test machines: GLOCKS_SHARDS when set, else 1. The
+// Shard count and window length for test machines: GLOCKS_SHARDS when
+// set, else 1; GLOCKS_SHARD_WINDOW when set, else 0 (auto windows). The
 // TSan gate (scripts/check_tsan.sh) exports GLOCKS_SHARDS=4 and reruns
-// the determinism/soak suites, putting every data-race annotation in the
-// sharded engine under the race detector with real workloads — results
-// are bit-identical either way, so the suites' assertions need no
+// the determinism/soak suites — once per window flavour — putting every
+// data-race annotation in both sharded kernels (lockstep and windowed)
+// under the race detector with real workloads. Results are bit-identical
+// for every (shards, window) pair, so the suites' assertions need no
 // shard-specific cases.
 #pragma once
 
@@ -16,6 +18,12 @@ inline std::uint32_t env_shards() {
   if (env == nullptr || *env == '\0') return 1;
   const unsigned long n = std::strtoul(env, nullptr, 10);
   return n >= 1 ? static_cast<std::uint32_t>(n) : 1;
+}
+
+inline std::uint32_t env_shard_window() {
+  const char* env = std::getenv("GLOCKS_SHARD_WINDOW");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
 }
 
 }  // namespace glocks::test

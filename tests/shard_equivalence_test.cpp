@@ -1,16 +1,21 @@
 // The shard-equivalence contract (docs/simulation_model.md): sharded
 // execution is an execution strategy, not a model parameter, so a run at
-// --shards N must be bit-identical to the serial scan for every N — same
-// cycle counts, same traffic, same census, same fault ledger, same
-// checkpoint-resumed tail. This suite drives every registry workload
-// across {1, 2, 4, 8} shards and two seeds, repeats the exercise with
-// fault injection enabled, and round-trips a checkpoint written under
-// one shard count through a restore under another.
+// --shards N --shard-window L must be bit-identical to the serial scan
+// for every (N, L) — same cycle counts, same traffic, same census, same
+// fault ledger, same checkpoint-resumed tail. This suite drives every
+// registry workload across {1, 2, 4, 8} shards and two seeds, sweeps
+// the window-length axis {lockstep, 2, 4, auto}, repeats the exercise
+// with fault injection enabled, and round-trips checkpoints written
+// under one (shards, window) pair — including at pause cycles that
+// split lookahead windows — through restores under another.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ckpt/checkpoint.hpp"
 #include "harness/report.hpp"
@@ -29,18 +34,22 @@ harness::RunConfig base_config(locks::LockKind kind, std::uint64_t seed) {
 }
 
 harness::RunResult run_sharded(const workloads::RegistryEntry& entry,
-                               std::uint64_t seed, std::uint32_t shards) {
+                               std::uint64_t seed, std::uint32_t shards,
+                               std::uint32_t window = 0) {
   auto wl = entry.make(0.25);
   harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
   cfg.cmp.num_shards = shards;
+  cfg.cmp.shard_window = window;
   return harness::run_workload(*wl, cfg);
 }
 
 harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
-                               std::uint64_t seed, std::uint32_t shards) {
+                               std::uint64_t seed, std::uint32_t shards,
+                               std::uint32_t window = 0) {
   auto wl = entry.make(0.25);
   harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
   cfg.cmp.num_shards = shards;
+  cfg.cmp.shard_window = window;
   cfg.cmp.fault.enabled = true;
   cfg.cmp.fault.seed = seed * 31 + 5;
   cfg.cmp.fault.drop_rate = 1e-3;
@@ -53,10 +62,12 @@ harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
 
 harness::RunResult run_mesh_faulted(const workloads::RegistryEntry& entry,
                                     std::uint64_t seed,
-                                    std::uint32_t shards) {
+                                    std::uint32_t shards,
+                                    std::uint32_t window = 0) {
   auto wl = entry.make(0.25);
   harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
   cfg.cmp.num_shards = shards;
+  cfg.cmp.shard_window = window;
   cfg.cmp.fault.seed = seed * 47 + 9;
   auto& m = cfg.cmp.fault.mesh;
   m.enabled = true;
@@ -86,19 +97,42 @@ TEST_P(EveryWorkload, ShardCountsAreBitIdentical) {
   }
 }
 
+// The window-length axis is execution strategy too: lockstep (L = 1)
+// and capped (L = 2, 4) windows must reproduce the serial machine bit
+// for bit at every shard count. Auto windows (L = 0, the default) are
+// what ShardCountsAreBitIdentical above already exercises.
+TEST_P(EveryWorkload, WindowLengthsAreBitIdentical) {
+  const auto& entry = workloads::registry()[GetParam()];
+  const auto serial = run_sharded(entry, 3, 1);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    for (const std::uint32_t window : {1u, 2u, 4u}) {
+      const auto windowed = run_sharded(entry, 3, shards, window);
+      const std::string diff = test::diff_results(serial, windowed);
+      EXPECT_EQ(diff, "") << entry.name << " shards " << shards
+                          << " window " << window << ": " << diff;
+    }
+  }
+}
+
 // Fault injection must survive sharding untouched: every fate is a pure
 // hash of (seed, wire, cycle), and the G-line network plus the fault
 // injector tick in the sequential tail of each epoch, so the faulted
 // ledger — injections, retransmissions, watchdog timeouts, demotions —
-// must match the serial run bit for bit.
+// must match the serial run bit for bit. The G-line domain leaves the
+// mesh clean, so lookahead windows stay armed: sweep the window axis
+// here too.
 TEST_P(EveryWorkload, FaultedShardCountsAreBitIdentical) {
   const auto& entry = workloads::registry()[GetParam()];
   const auto serial = run_faulted(entry, 11, 1);
-  for (const std::uint32_t shards : {2u, 4u}) {
-    const auto sharded = run_faulted(entry, 11, shards);
+  for (const auto& [shards, window] :
+       {std::pair<std::uint32_t, std::uint32_t>{2, 0},
+        {4, 0},
+        {4, 1},
+        {4, 4}}) {
+    const auto sharded = run_faulted(entry, 11, shards, window);
     const std::string diff = test::diff_results(serial, sharded);
     EXPECT_EQ(diff, "") << entry.name << " (faulted) shards " << shards
-                        << ": " << diff;
+                        << " window " << window << ": " << diff;
   }
 }
 
@@ -115,6 +149,14 @@ TEST_P(EveryWorkload, MeshFaultedShardCountsAreBitIdentical) {
     EXPECT_EQ(diff, "") << entry.name << " (mesh-faulted) shards "
                         << shards << ": " << diff;
   }
+  // Requesting multi-cycle windows while the mesh fault domain is armed
+  // must quietly fall back to lockstep (the window gate) and still
+  // match — fault fates are judged per link per cycle inside Mesh::tick
+  // and cannot be windowed.
+  const auto gated = run_mesh_faulted(entry, 7, 4, /*window=*/4);
+  const std::string diff = test::diff_results(serial, gated);
+  EXPECT_EQ(diff, "") << entry.name
+                      << " (mesh-faulted, window gate) : " << diff;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -161,6 +203,61 @@ TEST(ShardCheckpoint, RestoreCrossesShardCounts) {
                         << "at " << restore_shards << ": " << diff;
     std::remove(written[0].c_str());
   }
+}
+
+// Lookahead windows don't leak into checkpoints either: a checkpoint
+// written mid-window (the pause cycles are deliberately odd, so they
+// rarely land on a natural window boundary — the engine splits the
+// in-flight window at the pause) must verify byte-exactly against a
+// replay and restore-and-finish under any other (shards, window) pair.
+// Writing TWO checkpoints in one run also pins down the counter
+// contract: the restore verifier replays with a single pause, so
+// nothing serialized may depend on how earlier pauses split windows.
+TEST(ShardCheckpoint, RestoreCrossesWindowLengths) {
+  const auto& entry = workloads::registry()[0];
+  ckpt::RunSpec spec;
+  spec.workload = entry.name;
+  spec.scale = 0.25;
+  spec.seed = 5;
+  spec.policy.highly_contended = locks::LockKind::kGlock;
+  spec.cmp.num_shards = 4;
+  spec.cmp.shard_window = 0;  // auto windows while writing
+
+  const auto baseline = run_sharded(entry, spec.seed, 1);
+  ASSERT_GT(baseline.cycles, 400u);
+  const Cycle p1 = (baseline.cycles / 3) | 1;
+  const Cycle p2 = (2 * baseline.cycles / 3) | 1;
+
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> written;
+  ckpt::run_with_checkpoints(spec, {p1, p2}, dir, &written);
+  ASSERT_EQ(written.size(), 2u);
+  EXPECT_EQ(ckpt::read_checkpoint_meta(written[0]).spec.cmp.shard_window,
+            0u);
+
+  struct Combo {
+    std::optional<std::uint32_t> shards;
+    std::optional<std::uint32_t> window;
+  };
+  const Combo combos[] = {
+      {{}, {}},    // finish exactly as recorded
+      {1u, {}},    // serial tail
+      {2u, 1u},    // lockstep tail
+      {8u, 4u},    // more shards, capped windows
+  };
+  for (const std::string& path : written) {
+    for (const Combo& c : combos) {
+      const auto restored = ckpt::restore_and_run(path, c.shards, c.window);
+      const std::string diff = test::diff_results(baseline, restored);
+      EXPECT_EQ(diff, "")
+          << path << " restored at shards "
+          << (c.shards ? std::to_string(*c.shards) : "recorded")
+          << " window "
+          << (c.window ? std::to_string(*c.window) : "recorded") << ": "
+          << diff;
+    }
+  }
+  for (const std::string& path : written) std::remove(path.c_str());
 }
 
 // Same-shard-count checkpoints are byte-identical run to run — the

@@ -107,7 +107,9 @@ TEST(Engine, ShardedHangDiagnosticNamesOwnerEpochAndClock) {
     FAIL() << "expected the cycle-limit hang";
   } catch (const SimError& err) {
     const std::string what = err.what();
-    EXPECT_NE(what.find("sharded execution: 2 shards in lockstep"),
+    // The diagnostic names the kernel flavour (lockstep or windowed);
+    // a bare plan with no window hooks runs lockstep.
+    EXPECT_NE(what.find("sharded execution: 2 shards (lockstep)"),
               std::string::npos)
         << what;
     EXPECT_NE(what.find("epoch 50"), std::string::npos) << what;
