@@ -7,10 +7,15 @@
 // a large machine (--shard-cores, default 256 — sharding pays off when
 // there are many tiles per host thread) across --shards {1, 2, 4, 8},
 // checking every count is bit-identical to the serial scan and
-// reporting wall-clock speedups relative to it. On hosts with fewer
+// reporting wall-clock speedups relative to it. A third section runs
+// the same 4-shard machine under each tile->shard ownership map (block,
+// stripe, quad, profile), checking bit-identity again and reporting
+// each map's wall time and per-shard busy-ns imbalance ratio — the
+// number the profile balancer exists to shrink. On hosts with fewer
 // hardware threads than shards the numbers degrade gracefully (workers
-// time-slice); scripts/bench_throughput.sh only gates the speedup when
-// the host has the parallelism to deliver one.
+// time-slice); the JSON flags that with "shard_numbers_advisory" and
+// scripts/bench_throughput.sh only gates the speedup when the host has
+// the parallelism to deliver one.
 //
 //   sim_throughput [--scale X] [--cores N] [--out PATH]
 //                  [--shard-cores N] [--shard-scale X]
@@ -40,12 +45,14 @@ using namespace glocks;
 harness::RunResult run_point(const std::string& workload,
                              locks::LockKind hc, std::uint32_t cores,
                              double scale, EngineMode mode,
-                             std::uint32_t shards = 1) {
+                             std::uint32_t shards = 1,
+                             ShardMapPolicy map = ShardMapPolicy::kBlock) {
   auto wl = workloads::make_workload(workload, scale);
   harness::RunConfig cfg = bench::paper_config(hc);
   cfg.cmp.num_cores = cores;
   cfg.cmp.engine_mode = mode;
   cfg.cmp.num_shards = shards;
+  cfg.cmp.shard_map = map;
   // Past a 7x7 mesh the flat single-cycle G-line layout is out of reach
   // (max_transmitters_per_line); the big shard-scaling machine uses the
   // Section V hierarchical network, as the 256-core tests do.
@@ -173,6 +180,57 @@ int main(int argc, char** argv) {
   }
   identical = identical && shard_identical;
 
+  // Ownership-map comparison: the same 4-shard machine under each
+  // tile->shard map policy. Bits must match the serial scan under every
+  // map; the busy-ns imbalance ratio (max/mean across shards) is what
+  // the profile balancer exists to shrink, so the perf-smoke gate
+  // compares profile's against block's.
+  constexpr std::uint32_t kMapShards = 4;
+  constexpr ShardMapPolicy kMaps[] = {
+      ShardMapPolicy::kBlock, ShardMapPolicy::kStripe,
+      ShardMapPolicy::kQuad, ShardMapPolicy::kProfile};
+  constexpr const char* kMapNames[] = {"block", "stripe", "quad",
+                                       "profile"};
+  double map_wall[4] = {0, 0, 0, 0};
+  double map_imbalance[4] = {0, 0, 0, 0};
+  bool map_identical = true;
+  std::printf("\nshard maps: {SCTR, MCTR} x GLock at %u cores, %u shards\n",
+              shard_cores, kMapShards);
+  std::printf("%-8s %10s %10s  %s\n", "map", "wall_s", "imbalance",
+              "agree");
+  for (std::size_t mi = 0; mi < std::size(kMaps); ++mi) {
+    bool agree = true;
+    std::vector<std::uint64_t> busy;
+    std::size_t wi = 0;
+    for (const char* wl : {"SCTR", "MCTR"}) {
+      const auto r = run_point(wl, locks::LockKind::kGlock, shard_cores,
+                               shard_scale, EngineMode::kEventDriven,
+                               kMapShards, kMaps[mi]);
+      map_wall[mi] += r.perf.wall_seconds;
+      agree = agree && same_results(shard_base[wi], r);
+      if (busy.size() < r.perf.shard.shard_busy_ns.size()) {
+        busy.resize(r.perf.shard.shard_busy_ns.size(), 0);
+      }
+      for (std::size_t s = 0; s < r.perf.shard.shard_busy_ns.size(); ++s) {
+        busy[s] += r.perf.shard.shard_busy_ns[s];
+      }
+      ++wi;
+    }
+    std::uint64_t total = 0, peak = 0;
+    for (const std::uint64_t b : busy) {
+      total += b;
+      if (b > peak) peak = b;
+    }
+    map_imbalance[mi] =
+        total > 0 ? static_cast<double>(peak) * busy.size() /
+                        static_cast<double>(total)
+                  : 0.0;
+    map_identical = map_identical && agree;
+    std::printf("%-8s %10.3f %9.3fx  %s\n", kMapNames[mi], map_wall[mi],
+                map_imbalance[mi], agree ? "yes" : "NO — RESULTS DIVERGED");
+  }
+  identical = identical && map_identical;
+
   const double speedup =
       event_agg.wall_seconds > 0
           ? serial_agg.wall_seconds / event_agg.wall_seconds
@@ -211,9 +269,22 @@ int main(int argc, char** argv) {
   json << "  \"shard_scale\": " << shard_scale << ",\n";
   json << "  \"shard_identical\": " << (shard_identical ? "true" : "false")
        << ",\n";
+  // True when the host lacks the parallelism (2x the shard count) to
+  // make the sharded wall times meaningful — workers time-slice, so the
+  // speedup and imbalance numbers are advisory, not gateable.
+  json << "  \"shard_numbers_advisory\": "
+       << (host_threads < 2 * kMapShards ? "true" : "false") << ",\n";
   for (std::size_t si = 1; si < std::size(shard_counts); ++si) {
     json << "  \"shard_speedup_" << shard_counts[si] << "\": "
          << (shard_wall[si] > 0 ? shard_wall[0] / shard_wall[si] : 0.0)
+         << ",\n";
+  }
+  json << "  \"map_identical\": " << (map_identical ? "true" : "false")
+       << ",\n";
+  for (std::size_t mi = 0; mi < std::size(kMaps); ++mi) {
+    json << "  \"map_wall_s_" << kMapNames[mi] << "\": " << map_wall[mi]
+         << ",\n";
+    json << "  \"imbalance_" << kMapNames[mi] << "\": " << map_imbalance[mi]
          << ",\n";
   }
   json << "  \"serial\": ";

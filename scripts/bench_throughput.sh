@@ -27,6 +27,12 @@
 #      block. On smaller hosts the speedup check is skipped with the
 #      reason logged (the workers would just time-slice one core) but
 #      identity is still enforced.
+#   5. every shard ownership map (block/stripe/quad/profile) stayed
+#      bit-identical to the serial scan ("map_identical": true), and —
+#      on hosts with real parallelism, i.e. unless the bench flagged
+#      "shard_numbers_advisory" — the profile map's per-shard busy-ns
+#      imbalance ratio is no worse than the block map's (the load
+#      balancer must not lose to the default it replaces).
 #
 # Usage: scripts/bench_throughput.sh [build-dir] [scale]
 #        MIN_SPEEDUP=1.5 MIN_XHIT=0.3 MIN_SHARD_SPEEDUP=2.0 \
@@ -91,6 +97,14 @@ if [[ "$shard_identical" != "true" ]]; then
   echo "FAIL: sharded runs diverged from the serial scan" >&2
   exit 1
 fi
+map_identical="$(json_field "$OUT" map_identical)"
+advisory="$(json_field "$OUT" shard_numbers_advisory)"
+imb_block="$(json_field "$OUT" imbalance_block)"
+imb_profile="$(json_field "$OUT" imbalance_profile)"
+if [[ "$map_identical" != "true" ]]; then
+  echo "FAIL: a shard ownership map diverged from the serial scan" >&2
+  exit 1
+fi
 if [[ "$host_threads" -ge 4 ]]; then
   echo "shard-smoke: shard_speedup_4=${shard_speedup}x" \
        "(floor ${min_shard}x, host threads ${host_threads})"
@@ -105,10 +119,30 @@ if [[ "$host_threads" -ge 4 ]]; then
          "pinning every epoch to lockstep." >&2
     exit 1
   fi
+  echo "map-smoke: imbalance block=${imb_block}x profile=${imb_profile}x" \
+       "(advisory=${advisory})"
+  if [[ "$advisory" == "true" ]]; then
+    echo "map-smoke: CAVEAT — the bench reported shard_numbers_advisory:" \
+         "the host's ${host_threads} hardware threads are fewer than 2x" \
+         "the shard workers, so busy-ns imbalance reflects time-slicing" \
+         "as much as the ownership map. The profile<=block gate is not" \
+         "applied; bit-identity under every map is still enforced."
+  elif ! awk -v p="$imb_profile" -v b="$imb_block" \
+        'BEGIN { exit !(p <= b) }'; then
+    echo "FAIL: profile map busy-ns imbalance ${imb_profile}x exceeds" \
+         "block's ${imb_block}x — the profile balancer is making the" \
+         "shard load split worse than the contiguous default. Check the" \
+         "hot-tile list and the per-shard busy/wait times in the --perf" \
+         "shard-exec block." >&2
+    exit 1
+  fi
 else
-  echo "shard-smoke: SKIPPED the shard_speedup_4 >= ${min_shard}x gate —" \
-       "host has only ${host_threads} hardware thread(s), so 4 shard" \
-       "workers would time-slice one core and any speedup number would" \
-       "be noise. Bit-identity of sharded results is still enforced."
+  echo "shard-smoke: CAVEAT — host has only ${host_threads} hardware" \
+       "thread(s), so 4 shard workers time-slice one core and the" \
+       "speedup/imbalance numbers are advisory noise (the bench flags" \
+       "this as shard_numbers_advisory=${advisory}). The" \
+       "shard_speedup_4 >= ${min_shard}x and profile<=block imbalance" \
+       "gates are not applied; bit-identity of sharded results under" \
+       "every ownership map is still enforced."
 fi
 echo "perf-smoke passed."

@@ -60,4 +60,12 @@ GLOCKS_SHARDS=4 GLOCKS_SHARD_WINDOW=1 \
 GLOCKS_SHARDS=4 GLOCKS_SHARD_WINDOW=0 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
       -R '^(determinism_test|soak_test|mesh_fault_test)$'
+# Fourth pass: a non-contiguous tile->shard ownership map
+# (GLOCKS_SHARD_MAP=stripe interleaves adjacent tiles across shards), so
+# every mesh boundary tap, staging buffer, and express decline runs with
+# maximal cross-shard adjacency under the race detector — the worst case
+# for region-boundary races that contiguous bands never exercise.
+GLOCKS_SHARDS=4 GLOCKS_SHARD_MAP=stripe \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 7200 \
+      -R '^(determinism_test|soak_test|mesh_fault_test)$'
 echo "TSan check passed."

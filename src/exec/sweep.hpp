@@ -35,6 +35,14 @@ struct SweepSpec {
   /// like num_shards: excluded from sweep_signature(), free to change
   /// across a manifest resume.
   std::uint32_t shard_window = 0;
+  /// Tile->shard ownership policy and optional map file applied to
+  /// every grid point (--shard-map / --shard-map-file; see
+  /// CmpConfig::shard_map). Execution strategy like num_shards:
+  /// excluded from sweep_signature(). With the profile policy and a map
+  /// file, the first job to finish its warmup persists the map and
+  /// later jobs load it — one profiling pass for the whole sweep.
+  ShardMapPolicy shard_map = ShardMapPolicy::kBlock;
+  std::string shard_map_file;
   /// Fault-injection plan applied to every grid point (--faults). When
   /// enabled, each point derives its own injector seed from (fault.seed,
   /// workload seed), the CSV gains the fault columns, and the guarded

@@ -18,7 +18,8 @@ Mesh::Mesh(std::uint32_t num_tiles, std::uint32_t width, NocConfig cfg)
       cfg_(cfg),
       nics_(num_tiles),
       sinks_(num_tiles),
-      tile_seq_(num_tiles, 0) {
+      tile_seq_(num_tiles, 0),
+      tile_work_(num_tiles, 0) {
   GLOCKS_CHECK(width_ >= 1, "mesh width must be positive");
   const RouterTiming timing{cfg_.router_latency, cfg_.link_latency,
                             cfg_.input_queue_depth};
@@ -233,15 +234,17 @@ void Mesh::set_sharding(std::uint32_t num_shards,
                "window-capable sharding needs a positive per-hop latency");
   const auto tiles = static_cast<std::uint32_t>(nics_.size());
   regions_.resize(num_shards_);
-  std::uint32_t t = 0;
-  for (std::uint32_t s = 0; s < num_shards_; ++s) {
-    regions_[s].tile_begin = t;
-    while (t < tiles && tile_shard_[t] == s) ++t;
-    regions_[s].tile_end = t;
+  // Each region keeps its own ascending tile list — the ownership map
+  // may be arbitrary (stripes, quadrants, profile-balanced). Ascending
+  // ids per region preserve the serial tick order among a region's own
+  // tiles; cross-region order is irrelevant because regions only talk
+  // through the boundary taps.
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    GLOCKS_CHECK(tile_shard_[i] < num_shards_,
+                 "tile " << i << " owned by shard " << tile_shard_[i]
+                         << " of " << num_shards_);
+    regions_[tile_shard_[i]].tiles.push_back(i);
   }
-  GLOCKS_CHECK(t == tiles,
-               "window-capable tile->shard map must be block-contiguous "
-               "in ascending shard order");
   // Per-region stat buckets: concurrent region ticks record into their
   // own bucket; fold_regions moves them into the shared totals at every
   // barrier, so end-of-run reads see exactly the serial counters.
@@ -626,7 +629,10 @@ void Mesh::tick(Cycle now) {
   // loop hands packets to sinks (after the NIC drain, so a send made
   // from inside a sink is injected next cycle on either path).
   deliver_due_express(now);
-  for (auto& r : routers_) r->tick(now);
+  for (std::uint32_t t = 0; t < routers_.size(); ++t) {
+    if (routers_[t]->occupancy() > 0) ++tile_work_[t];
+    routers_[t]->tick(now);
+  }
   if (window_mode_) {
     // Lockstep epoch under a window plan: cross-region forwards were
     // staged by the boundary taps (live capacity reads — exact). Deliver
@@ -728,8 +734,9 @@ void Mesh::tick_region(std::uint32_t shard, Cycle now) {
   r.last_tick = now;
   // Same per-cycle order as the serial mesh tick, restricted to the
   // region's tiles: NIC drains first (so last cycle's sends can enter
-  // the fabric), then the routers in ascending tile order.
-  for (std::uint32_t t = r.tile_begin; t < r.tile_end; ++t) {
+  // the fabric), then the routers in ascending tile order (the region
+  // list is ascending for any ownership map).
+  for (const std::uint32_t t : r.tiles) {
     for (auto& outbox : nics_[t].outbox) {
       while (!outbox.empty()) {
         if (!routers_[t]->inject(std::move(outbox.front()), now)) break;
@@ -737,7 +744,8 @@ void Mesh::tick_region(std::uint32_t shard, Cycle now) {
       }
     }
   }
-  for (std::uint32_t t = r.tile_begin; t < r.tile_end; ++t) {
+  for (const std::uint32_t t : r.tiles) {
+    if (routers_[t]->occupancy() > 0) ++tile_work_[t];
     routers_[t]->tick(now);
   }
 }

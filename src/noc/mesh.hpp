@@ -98,10 +98,11 @@ class Mesh final : public sim::Component, public BoundaryStager {
   /// hop-by-hop path is always exact).
   ///
   /// With `window_capable`, the fabric itself is split into per-shard
-  /// regions (tile_shard must be block-contiguous in ascending shard
-  /// order) so the engine can run multi-cycle lookahead windows:
-  /// each shard ticks its own tiles' NICs and routers on its local
-  /// clock, output links whose neighbor lies in another shard stage
+  /// regions (the tile->shard map may be arbitrary — each region keeps
+  /// its own ascending tile list) so the engine can run multi-cycle
+  /// lookahead windows: each shard ticks its own tiles' NICs and
+  /// routers on its local clock, output links whose neighbor lies in
+  /// another shard stage
   /// their forwards with the mesh (BoundaryStager), and end_window()
   /// merges the staged flits deterministically — always before their
   /// ready cycles, so downstream arbitration bytes are unchanged.
@@ -148,6 +149,12 @@ class Mesh final : public sim::Component, public BoundaryStager {
   std::uint64_t boundary_flits() const { return boundary_flits_; }
   /// Sends issued directly into a shard's own region inside windows.
   std::uint64_t windowed_sends() const { return windowed_sends_; }
+
+  /// Per-tile busy-router tick counts (a router counted once per cycle
+  /// it held packets when ticked). Host-side perf feeding the profile
+  /// shard-map balancer and the SimPerf per-tile top-N; never
+  /// serialized, so archives stay strategy-invariant.
+  const std::vector<std::uint64_t>& tile_work() const { return tile_work_; }
 
   void tick(Cycle now) override;
 
@@ -305,13 +312,12 @@ class Mesh final : public sim::Component, public BoundaryStager {
     Cycle ready = 0;
     Packet pkt;
   };
-  /// A contiguous block of tiles owned by one shard, plus the deltas its
-  /// worker accumulates privately during a window (folded into the
-  /// shared totals at the barrier so no counter is ever written
-  /// concurrently).
+  /// The tiles owned by one shard (ascending ids — any ownership map,
+  /// contiguous or not), plus the deltas its worker accumulates
+  /// privately during a window (folded into the shared totals at the
+  /// barrier so no counter is ever written concurrently).
   struct Region {
-    std::uint32_t tile_begin = 0;
-    std::uint32_t tile_end = 0;  ///< half-open
+    std::vector<std::uint32_t> tiles;
     /// Packets resident in the region (router occupancy + NIC backlog);
     /// recomputed at begin_window, maintained during the window.
     std::uint64_t load = 0;
@@ -341,6 +347,8 @@ class Mesh final : public sim::Component, public BoundaryStager {
   std::uint64_t staged_sends_ = 0;    ///< perf only; not serialized
   std::uint64_t boundary_flits_ = 0;  ///< perf only; not serialized
   std::uint64_t windowed_sends_ = 0;  ///< perf only; not serialized
+  /// Busy-router ticks per tile (see tile_work()); perf only.
+  std::vector<std::uint64_t> tile_work_;
   /// Mesh fault domain (null in faults-off runs: every baseline path is
   /// byte-identical to a build without the feature).
   std::unique_ptr<MeshFaultDomain> fault_;

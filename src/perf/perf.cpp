@@ -82,6 +82,33 @@ void SimPerf::add(const SimPerf& other) {
   shard.staged_packets += other.shard.staged_packets;
   shard.boundary_flits += other.shard.boundary_flits;
   shard.windowed_sends += other.shard.windowed_sends;
+  if (shard.map.empty()) {
+    shard.map = other.shard.map;
+  } else if (!other.shard.map.empty() && other.shard.map != shard.map) {
+    shard.map = "mixed";
+  }
+  if (!other.shard.tile_top.empty()) {
+    // Merge by tile id, then re-rank and re-truncate.
+    for (const auto& [tile, cost] : other.shard.tile_top) {
+      auto it = std::find_if(shard.tile_top.begin(), shard.tile_top.end(),
+                             [t = tile](const auto& e) {
+                               return e.first == t;
+                             });
+      if (it != shard.tile_top.end()) {
+        it->second += cost;
+      } else {
+        shard.tile_top.emplace_back(tile, cost);
+      }
+    }
+    std::sort(shard.tile_top.begin(), shard.tile_top.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    if (shard.tile_top.size() > ShardExecPerf::kTileTopN) {
+      shard.tile_top.resize(ShardExecPerf::kTileTopN);
+    }
+  }
   for (const auto& s : other.slots) {
     auto it = std::find_if(slots.begin(), slots.end(),
                            [&](const sim::SlotPerf& m) {
@@ -117,8 +144,10 @@ std::string SimPerf::summary() const {
       << " materialized (" << msg.express_hit_rate() * 100.0
       << "% hit rate)\n";
   if (shard.shards > 1) {
-    oss << "sharded: " << shard.shards << " shards; "
-        << shard.lockstep_epochs << " lockstep + " << shard.windowed_epochs
+    oss << "sharded: " << shard.shards << " shards";
+    if (!shard.map.empty()) oss << ", map " << shard.map;
+    oss << "; " << shard.lockstep_epochs << " lockstep + "
+        << shard.windowed_epochs
         << " windowed epochs (" << shard.windowed_cycles
         << " cycles, avg window " << shard.avg_window() << "); hist [";
     for (std::size_t i = 0; i < shard.window_hist.size(); ++i) {
@@ -135,6 +164,13 @@ std::string SimPerf::summary() const {
           << static_cast<double>(shard.wait_ns(s)) / 1e6;
     }
     oss << "\n";
+    if (!shard.tile_top.empty()) {
+      oss << "hot tiles:";
+      for (const auto& [tile, cost] : shard.tile_top) {
+        oss << " t" << tile << " " << cost;
+      }
+      oss << "\n";
+    }
   }
   return oss.str();
 }
@@ -195,7 +231,14 @@ void SimPerf::write_json(std::ostream& out, int indent) const {
   out << "],\n";
   out << in2 << "\"staged_packets\": " << shard.staged_packets << ",\n";
   out << in2 << "\"boundary_flits\": " << shard.boundary_flits << ",\n";
-  out << in2 << "\"windowed_sends\": " << shard.windowed_sends << "\n";
+  out << in2 << "\"windowed_sends\": " << shard.windowed_sends << ",\n";
+  out << in2 << "\"map\": \"" << shard.map << "\",\n";
+  out << in2 << "\"tile_top\": [";
+  for (std::size_t i = 0; i < shard.tile_top.size(); ++i) {
+    out << (i ? ", " : "") << "{\"tile\": " << shard.tile_top[i].first
+        << ", \"cost\": " << shard.tile_top[i].second << "}";
+  }
+  out << "]\n";
   out << in1 << "},\n";
   // Slot detail used to list every registered component (5N + 3 entries
   // — hundreds of lines per payload at 256 cores). The benchmark JSON

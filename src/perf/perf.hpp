@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -67,6 +68,17 @@ struct ShardExecPerf {
   std::uint64_t staged_packets = 0;   ///< lockstep NIC sends flushed at barriers
   std::uint64_t boundary_flits = 0;   ///< flits staged across region boundaries
   std::uint64_t windowed_sends = 0;   ///< direct per-region sends in windows
+  /// Active tile->shard ownership policy name ("block", "stripe",
+  /// "quad", "profile"); empty when the run was not sharded, "mixed"
+  /// when merged runs disagree.
+  std::string map;
+  /// The kTileTopN highest-activity tiles as (tile id, cost) pairs,
+  /// descending; cost = engine slot ticks + busy-router ticks — the
+  /// same signal the profile balancer partitions on. Merged runs sum
+  /// per tile and re-rank.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> tile_top;
+  /// How many tiles the harness keeps in tile_top.
+  static constexpr std::size_t kTileTopN = 8;
 
   /// Mean cycles per windowed epoch (0 when none ran).
   double avg_window() const;

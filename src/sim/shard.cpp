@@ -1,8 +1,94 @@
 #include "sim/shard.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
 
 namespace glocks::sim {
+
+namespace {
+
+// The historical contiguous split: core c belongs to shard c*S/C.
+std::uint32_t block_shard_of_core(std::uint32_t core, std::uint32_t cores,
+                                  std::uint32_t shards) {
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(core) * shards / cores);
+}
+
+// Router-only tiles (id >= num_cores) have no core of their own; the
+// block/stripe policies ride them with the last core, matching the
+// pre-map plan builder byte-for-byte.
+std::uint32_t tile_core(std::uint32_t tile, std::uint32_t cores) {
+  return std::min(tile, cores - 1);
+}
+
+// Recursive coordinate bisection over a set of core tiles: split the
+// wider bounding-box dimension, handing the left child floor(count *
+// s_left / s) tiles. Deterministic (sort key is (coordinate, tile id))
+// and every child keeps count >= shard-count, so no shard ends empty.
+void rcb_split(std::vector<std::uint32_t>& part, std::size_t begin,
+               std::size_t end, std::uint32_t shard_begin,
+               std::uint32_t shard_count, std::uint32_t width,
+               std::vector<std::uint32_t>& map) {
+  if (shard_count == 1) {
+    for (std::size_t i = begin; i < end; ++i) map[part[i]] = shard_begin;
+    return;
+  }
+  std::uint32_t min_x = ~0u, max_x = 0, min_y = ~0u, max_y = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t x = part[i] % width;
+    const std::uint32_t y = part[i] / width;
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  const bool by_x = (max_x - min_x) >= (max_y - min_y);
+  std::sort(part.begin() + static_cast<std::ptrdiff_t>(begin),
+            part.begin() + static_cast<std::ptrdiff_t>(end),
+            [width, by_x](std::uint32_t a, std::uint32_t b) {
+              const std::uint32_t ka = by_x ? a % width : a / width;
+              const std::uint32_t kb = by_x ? b % width : b / width;
+              return ka != kb ? ka < kb : a < b;
+            });
+  const std::uint32_t left_shards = shard_count / 2;
+  const std::size_t left_count =
+      (end - begin) * left_shards / shard_count;
+  rcb_split(part, begin, begin + left_count, shard_begin, left_shards,
+            width, map);
+  rcb_split(part, begin + left_count, end, shard_begin + left_shards,
+            shard_count - left_shards, width, map);
+}
+
+// Router-only tiles join the shard of the Manhattan-nearest core tile
+// (ties to the lower core id): they carry no simulated components, so
+// the only thing that matters is not widening the boundary cut.
+void assign_router_tiles_nearest(std::vector<std::uint32_t>& map,
+                                 std::uint32_t cores, std::uint32_t width) {
+  for (std::uint32_t t = cores; t < map.size(); ++t) {
+    const std::int64_t tx = t % width;
+    const std::int64_t ty = t / width;
+    std::uint64_t best_d = ~std::uint64_t{0};
+    std::uint32_t best_core = 0;
+    for (std::uint32_t c = 0; c < cores; ++c) {
+      const std::uint64_t d = static_cast<std::uint64_t>(
+          std::llabs(tx - static_cast<std::int64_t>(c % width)) +
+          std::llabs(ty - static_cast<std::int64_t>(c / width)));
+      if (d < best_d) {
+        best_d = d;
+        best_core = c;
+      }
+    }
+    map[t] = map[best_core];
+  }
+}
+
+}  // namespace
 
 Cycle lookahead_horizon(const std::vector<std::uint32_t>& tile_shard,
                         std::uint32_t mesh_width, Cycle per_hop) {
@@ -27,6 +113,206 @@ Cycle lookahead_horizon(const std::vector<std::uint32_t>& tile_shard,
   }
   if (h_min == ~std::uint64_t{0}) return kNoCycle;  // single shard
   return 1 + h_min * per_hop;
+}
+
+std::vector<std::uint32_t> build_shard_map(ShardMapPolicy policy,
+                                           std::uint32_t tiles,
+                                           std::uint32_t num_cores,
+                                           std::uint32_t mesh_width,
+                                           std::uint32_t shards) {
+  GLOCKS_CHECK(shards >= 1 && shards <= num_cores && tiles >= num_cores,
+               "shard map geometry: " << shards << " shards, " << num_cores
+                                      << " cores, " << tiles << " tiles");
+  std::vector<std::uint32_t> map(tiles, 0);
+  switch (policy) {
+    case ShardMapPolicy::kBlock:
+      for (std::uint32_t t = 0; t < tiles; ++t) {
+        map[t] =
+            block_shard_of_core(tile_core(t, num_cores), num_cores, shards);
+      }
+      break;
+    case ShardMapPolicy::kStripe:
+      for (std::uint32_t t = 0; t < tiles; ++t) {
+        map[t] = tile_core(t, num_cores) % shards;
+      }
+      break;
+    case ShardMapPolicy::kQuad: {
+      std::vector<std::uint32_t> cores(num_cores);
+      std::iota(cores.begin(), cores.end(), 0u);
+      rcb_split(cores, 0, cores.size(), 0, shards, mesh_width, map);
+      assign_router_tiles_nearest(map, num_cores, mesh_width);
+      break;
+    }
+    case ShardMapPolicy::kProfile:
+      GLOCKS_CHECK(false,
+                   "kProfile needs per-tile costs: use build_profile_map");
+      break;
+  }
+  return map;
+}
+
+std::vector<std::uint32_t> build_profile_map(
+    const std::vector<std::uint64_t>& tile_cost, std::uint32_t num_cores,
+    std::uint32_t mesh_width, std::uint32_t shards) {
+  const auto tiles = static_cast<std::uint32_t>(tile_cost.size());
+  GLOCKS_CHECK(shards >= 1 && shards <= num_cores && tiles >= num_cores,
+               "profile map geometry: " << shards << " shards, " << num_cores
+                                        << " cores, " << tiles << " tiles");
+  constexpr std::uint32_t kUnassigned = ~0u;
+  std::vector<std::uint32_t> map(tiles, kUnassigned);
+  // Greedy LPT: heaviest tile first (ties to the lower id), placed on
+  // the shard with the lowest projected load plus a boundary-cut
+  // penalty per already-assigned grid neighbor living elsewhere. The
+  // penalty is half the mean tile cost: enough that the sea of
+  // near-zero-cost tiles clusters spatially, small enough that the hot
+  // tiles still spread for balance.
+  std::vector<std::uint32_t> order(tiles);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&tile_cost](std::uint32_t a, std::uint32_t b) {
+              return tile_cost[a] != tile_cost[b]
+                         ? tile_cost[a] > tile_cost[b]
+                         : a < b;
+            });
+  const std::uint64_t total =
+      std::accumulate(tile_cost.begin(), tile_cost.end(), std::uint64_t{0});
+  const std::uint64_t penalty = total / (2 * tiles) + 1;
+  std::vector<std::uint64_t> load(shards, 0);
+  // Every shard must end up owning at least one *core* tile — a shard
+  // holding only router-only pass-throughs would own zero engine slots
+  // and its worker would idle forever at the barriers.
+  std::vector<std::uint32_t> core_count(shards, 0);
+  std::uint32_t empty_shards = shards;
+  std::uint32_t cores_left = num_cores;
+  const std::uint32_t height = tiles / mesh_width;
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    const std::uint32_t t = order[i];
+    const bool is_core = t < num_cores;
+    const std::uint32_t x = t % mesh_width;
+    const std::uint32_t y = t / mesh_width;
+    const std::uint32_t neighbors[4] = {
+        x > 0 ? t - 1 : kUnassigned,
+        x + 1 < mesh_width ? t + 1 : kUnassigned,
+        y > 0 ? t - mesh_width : kUnassigned,
+        y + 1 < height ? t + mesh_width : kUnassigned,
+    };
+    std::uint32_t best = kUnassigned;
+    std::uint64_t best_score = ~std::uint64_t{0};
+    // Once the unassigned core tiles only just cover the shards still
+    // missing one, a core tile's placement is forced.
+    const bool must_fill = is_core && cores_left == empty_shards;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      if (must_fill && core_count[s] != 0) continue;
+      std::uint64_t cut = 0;
+      for (const std::uint32_t n : neighbors) {
+        if (n != kUnassigned && map[n] != kUnassigned && map[n] != s) {
+          cut += penalty;
+        }
+      }
+      const std::uint64_t score = load[s] + tile_cost[t] + cut;
+      if (score < best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    map[t] = best;
+    load[best] += tile_cost[t];
+    if (is_core) {
+      if (core_count[best] == 0) --empty_shards;
+      ++core_count[best];
+      --cores_left;
+    }
+  }
+  return map;
+}
+
+const char* shard_map_name(ShardMapPolicy policy) {
+  switch (policy) {
+    case ShardMapPolicy::kBlock: return "block";
+    case ShardMapPolicy::kStripe: return "stripe";
+    case ShardMapPolicy::kQuad: return "quad";
+    case ShardMapPolicy::kProfile: return "profile";
+  }
+  return "block";
+}
+
+std::optional<ShardMapPolicy> parse_shard_map(std::string_view name) {
+  if (name == "block") return ShardMapPolicy::kBlock;
+  if (name == "stripe") return ShardMapPolicy::kStripe;
+  if (name == "quad") return ShardMapPolicy::kQuad;
+  if (name == "profile") return ShardMapPolicy::kProfile;
+  return std::nullopt;
+}
+
+bool save_shard_map(const std::string& path,
+                    const std::vector<std::uint32_t>& tile_shard,
+                    std::uint32_t shards) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << "# glocks tile->shard ownership map (--shard-map-file)\n"
+        << "shards " << shards << "\n"
+        << "tiles " << tile_shard.size() << "\n";
+    for (const std::uint32_t s : tile_shard) out << s << "\n";
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint32_t>> load_shard_map(
+    const std::string& path, std::uint32_t tiles, std::uint32_t shards) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string tok;
+  const auto next = [&in, &tok]() -> bool {
+    while (in >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
+  const auto next_u32 = [&next, &tok](std::uint32_t& v) -> bool {
+    if (!next()) return false;
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') return false;
+    v = static_cast<std::uint32_t>(n);
+    return true;
+  };
+  std::uint32_t file_shards = 0;
+  std::uint32_t file_tiles = 0;
+  if (!next() || tok != "shards" || !next_u32(file_shards)) {
+    return std::nullopt;
+  }
+  if (!next() || tok != "tiles" || !next_u32(file_tiles)) {
+    return std::nullopt;
+  }
+  // A file written for another geometry is not an error — the caller
+  // falls back to in-run profiling for this machine.
+  if (file_shards != shards || file_tiles != tiles) return std::nullopt;
+  std::vector<std::uint32_t> map(tiles);
+  std::vector<bool> seen(shards, false);
+  for (std::uint32_t t = 0; t < tiles; ++t) {
+    if (!next_u32(map[t]) || map[t] >= shards) return std::nullopt;
+    seen[map[t]] = true;
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    if (!seen[s]) return std::nullopt;  // an empty shard would deadlock
+  }
+  return map;
 }
 
 ShardCrew::ShardCrew(std::uint32_t workers,

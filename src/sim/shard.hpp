@@ -8,8 +8,8 @@
 // least one router traversal; the N -> N+1 visibility rule is the floor
 // even for same-tile delivery), so one cycle is always a safe
 // conservative lookahead and the engine can always fall back to
-// lockstep epochs of exactly one cycle. But with block-contiguous tile
-// ownership the *cross-shard* delay is much larger: a packet must
+// lockstep epochs of exactly one cycle. But under a low-cut tile
+// ownership map the *cross-shard* delay is much larger: a packet must
 // physically route from its source tile to a boundary link before it
 // can touch another shard's state, and every hop costs
 // router_latency + link_latency cycles. If H_min is the minimum mesh
@@ -30,9 +30,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/types.hpp"
 
 namespace glocks::sim {
@@ -121,6 +125,50 @@ struct ShardHooks {
 /// shard owns every tile — windows are unbounded by sends).
 Cycle lookahead_horizon(const std::vector<std::uint32_t>& tile_shard,
                         std::uint32_t mesh_width, Cycle per_hop);
+
+// ---- Ownership-map construction (CmpConfig::shard_map policies) -----
+//
+// Every builder returns a tile->shard vector of length `tiles` with all
+// `shards` ids in [0, shards) nonempty, fully deterministic for a given
+// input (no RNG, no host state). Ownership maps are execution strategy:
+// the kernel produces identical bytes under any of them, so the only
+// differences are wall-clock (balance) and window length (boundary
+// cut). Callers clamp shards to [1, num_cores] first.
+
+/// Build a static map: kBlock (contiguous bands, the historical split),
+/// kStripe (round-robin, maximum cut), or kQuad (recursive coordinate
+/// bisection over the mesh grid, minimum cut). kProfile is rejected
+/// here — it needs per-tile costs; use build_profile_map.
+std::vector<std::uint32_t> build_shard_map(ShardMapPolicy policy,
+                                           std::uint32_t tiles,
+                                           std::uint32_t num_cores,
+                                           std::uint32_t mesh_width,
+                                           std::uint32_t shards);
+
+/// Profile-guided map: greedy LPT over per-tile activity costs
+/// (descending, ties to the lower tile id), each tile placed on the
+/// shard minimizing projected load plus a boundary-cut penalty scaled
+/// to the mean tile cost. `tile_cost.size()` fixes the tile count.
+std::vector<std::uint32_t> build_profile_map(
+    const std::vector<std::uint64_t>& tile_cost, std::uint32_t num_cores,
+    std::uint32_t mesh_width, std::uint32_t shards);
+
+/// Policy <-> string for CLI/env/report plumbing ("block", "stripe",
+/// "quad", "profile"). parse returns nullopt on unknown names.
+const char* shard_map_name(ShardMapPolicy policy);
+std::optional<ShardMapPolicy> parse_shard_map(std::string_view name);
+
+/// Persist / reload a profiled map (--shard-map-file) as a small text
+/// file (comment header, shard/tile counts, one owner per tile). The
+/// save writes to a temp file and renames so sweep jobs racing on the
+/// same path never observe a torn map. load returns nullopt when the
+/// file is missing, malformed, or was written for a different
+/// (tiles, shards) geometry — callers fall back to in-run profiling.
+bool save_shard_map(const std::string& path,
+                    const std::vector<std::uint32_t>& tile_shard,
+                    std::uint32_t shards);
+std::optional<std::vector<std::uint32_t>> load_shard_map(
+    const std::string& path, std::uint32_t tiles, std::uint32_t shards);
 
 /// Persistent worker threads for shards 1..N-1 (the main thread runs
 /// shard 0 itself). Generation-counter barriers: begin_wave() releases

@@ -20,6 +20,15 @@
 //                         kernel (or GLOCKS_SHARD_WINDOW): 1 = lockstep,
 //                         0 = auto [default], L > 1 = capped windows.
 //                         Execution strategy like --shards.
+//   --shard-map P         tile->shard ownership policy for every grid
+//                         point (or GLOCKS_SHARD_MAP): block [default],
+//                         stripe, quad, or profile. Execution strategy
+//                         like --shards — CSV bytes are identical under
+//                         every map.
+//   --shard-map-file F    with --shard-map profile: persist/reuse the
+//                         profiled map in F (or GLOCKS_SHARD_MAP_FILE),
+//                         so the grid pays for one warmup, not one per
+//                         point.
 //   --all                 shorthand for every workload
 //   --faults SPEC         fault-injection plan for every grid point.
 //                         SPEC is a bare rate ("0.001") or a key=value
@@ -67,6 +76,7 @@
 #include "exec/job_pool.hpp"
 #include "exec/sweep.hpp"
 #include "fault/fault.hpp"
+#include "sim/shard.hpp"
 #include "tools/args.hpp"
 #include "workloads/registry.hpp"
 
@@ -151,6 +161,29 @@ int main(int argc, char** argv) {
                env != nullptr && *env != '\0') {
       spec.shard_window =
           static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    }
+
+    std::string map_name = args.get("shard-map");
+    if (map_name.empty()) {
+      if (const char* env = std::getenv("GLOCKS_SHARD_MAP");
+          env != nullptr) {
+        map_name = env;
+      }
+    }
+    if (!map_name.empty()) {
+      const auto map = sim::parse_shard_map(map_name);
+      GLOCKS_CHECK(map.has_value(),
+                   "unknown shard map '" << map_name
+                                         << "' (block, stripe, quad, "
+                                            "profile)");
+      spec.shard_map = *map;
+    }
+    spec.shard_map_file = args.get("shard-map-file");
+    if (spec.shard_map_file.empty()) {
+      if (const char* env = std::getenv("GLOCKS_SHARD_MAP_FILE");
+          env != nullptr) {
+        spec.shard_map_file = env;
+      }
     }
 
     if (args.has("faults")) {

@@ -52,6 +52,20 @@
 //                        execution strategy like --shards — output is
 //                        bit-identical for every value. With --restore,
 //                        applies to the post-verification tail.
+//   --shard-map P        tile->shard ownership policy for the sharded
+//                        kernel (or GLOCKS_SHARD_MAP when the flag is
+//                        absent): block (contiguous bands, the default),
+//                        stripe (round-robin), quad (recursive-bisection
+//                        blocks minimizing the boundary cut), or profile
+//                        (load-balanced from per-tile activity — a map
+//                        file, else a short in-run warmup). An execution
+//                        strategy like --shards — output is bit-identical
+//                        under every map. With --restore, the verified
+//                        replay re-maps the tail to P.
+//   --shard-map-file F   with --shard-map profile: load the map from F
+//                        when it exists and fits; otherwise the warmup's
+//                        map is saved to F so later runs (e.g. sweep
+//                        jobs) reuse one profiling pass.
 //   --perf               print a simulator-throughput summary (wall time,
 //                        Mcycles/s, kernel tick/skip counters) to stderr;
 //                        stdout output is unchanged
@@ -80,6 +94,7 @@
 #include "harness/auto_policy.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "sim/shard.hpp"
 #include "tools/args.hpp"
 #include "trace/tracer.hpp"
 #include "workloads/registry.hpp"
@@ -133,6 +148,30 @@ std::optional<std::uint32_t> requested_window(const tools::Args& args) {
   return std::nullopt;
 }
 
+/// --shard-map when given, else GLOCKS_SHARD_MAP from the environment,
+/// else nothing (the config default — block — applies).
+std::optional<ShardMapPolicy> requested_map(const tools::Args& args) {
+  std::string name = args.get("shard-map");
+  if (name.empty()) {
+    const char* env = std::getenv("GLOCKS_SHARD_MAP");
+    if (env != nullptr) name = env;
+  }
+  if (name.empty()) return std::nullopt;
+  const auto p = sim::parse_shard_map(name);
+  GLOCKS_CHECK(p.has_value(), "unknown shard map '"
+                                  << name
+                                  << "' (block, stripe, quad, profile)");
+  return p;
+}
+
+/// --shard-map-file when given, else GLOCKS_SHARD_MAP_FILE.
+std::string requested_map_file(const tools::Args& args) {
+  const std::string f = args.get("shard-map-file");
+  if (!f.empty()) return f;
+  const char* env = std::getenv("GLOCKS_SHARD_MAP_FILE");
+  return env != nullptr ? env : "";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,8 +188,9 @@ int main(int argc, char** argv) {
                    "--trace");
       const std::string path = args.get("restore");
       const auto meta = ckpt::read_checkpoint_meta(path);
-      const auto result = ckpt::restore_and_run(path, requested_shards(args),
-                                                requested_window(args));
+      const auto result =
+          ckpt::restore_and_run(path, requested_shards(args),
+                                requested_window(args), requested_map(args));
       if (args.has("csv")) {
         harness::write_csv_header(std::cout, meta.spec.cmp.fault.enabled,
                                   meta.spec.cmp.fault.mesh.enabled);
@@ -184,6 +224,8 @@ int main(int argc, char** argv) {
     if (const auto window = requested_window(args)) {
       cfg.cmp.shard_window = *window;
     }
+    if (const auto map = requested_map(args)) cfg.cmp.shard_map = *map;
+    cfg.cmp.shard_map_file = requested_map_file(args);
 
     if (args.has("faults")) {
       cfg.cmp.fault = fault::parse_fault_spec(args.get("faults"));

@@ -37,6 +37,7 @@ harness::RunResult run_once(const workloads::RegistryEntry& entry,
   cfg.seed = seed;
   cfg.cmp.num_shards = test::env_shards();
   cfg.cmp.shard_window = test::env_shard_window();
+  cfg.cmp.shard_map = test::env_shard_map();
   return harness::run_workload(*wl, cfg);
 }
 
@@ -86,6 +87,7 @@ harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
   cfg.seed = seed;
   cfg.cmp.num_shards = test::env_shards();
   cfg.cmp.shard_window = test::env_shard_window();
+  cfg.cmp.shard_map = test::env_shard_map();
   cfg.cmp.fault.enabled = true;
   cfg.cmp.fault.seed = seed * 31 + 5;
   cfg.cmp.fault.drop_rate = 1e-3;

@@ -43,6 +43,7 @@ TEST_P(FaultSoak, CompletesAndLedgerReconciles) {
   cfg.cmp.num_cores = 16;
   cfg.cmp.num_shards = test::env_shards();
   cfg.cmp.shard_window = test::env_shard_window();
+  cfg.cmp.shard_map = test::env_shard_map();
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = seed;
   cfg.cmp.fault.enabled = true;
@@ -102,6 +103,7 @@ TEST_P(MeshFaultSoak, CompletesAndLedgerReconciles) {
   cfg.cmp.num_cores = 16;
   cfg.cmp.num_shards = test::env_shards();
   cfg.cmp.shard_window = test::env_shard_window();
+  cfg.cmp.shard_map = test::env_shard_map();
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = seed;
   cfg.cmp.fault.seed = seed * 1000003 + std::get<1>(GetParam());

@@ -80,6 +80,7 @@ harness::RunConfig mesh_cfg(std::uint64_t seed) {
   cfg.cmp.num_cores = 8;  // 3x3 mesh, tile 8 router-only
   cfg.cmp.num_shards = test::env_shards();
   cfg.cmp.shard_window = test::env_shard_window();
+  cfg.cmp.shard_map = test::env_shard_map();
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = seed;
   cfg.cmp.fault.seed = seed * 13 + 1;
@@ -200,6 +201,7 @@ TEST(MeshFault, FaultsOffCsvBytesUnchanged) {
   cfg.cmp.num_cores = 8;
   cfg.cmp.num_shards = test::env_shards();
   cfg.cmp.shard_window = test::env_shard_window();
+  cfg.cmp.shard_map = test::env_shard_map();
   cfg.policy.highly_contended = locks::LockKind::kGlock;
   cfg.seed = 1;
   const auto r = run_sctr(cfg);

@@ -1,15 +1,20 @@
-// Shard count and window length for test machines: GLOCKS_SHARDS when
-// set, else 1; GLOCKS_SHARD_WINDOW when set, else 0 (auto windows). The
-// TSan gate (scripts/check_tsan.sh) exports GLOCKS_SHARDS=4 and reruns
-// the determinism/soak suites — once per window flavour — putting every
-// data-race annotation in both sharded kernels (lockstep and windowed)
-// under the race detector with real workloads. Results are bit-identical
-// for every (shards, window) pair, so the suites' assertions need no
-// shard-specific cases.
+// Shard count, window length, and ownership map for test machines:
+// GLOCKS_SHARDS when set, else 1; GLOCKS_SHARD_WINDOW when set, else 0
+// (auto windows); GLOCKS_SHARD_MAP when set, else block. The TSan gate
+// (scripts/check_tsan.sh) exports GLOCKS_SHARDS=4 and reruns the
+// determinism/soak suites — once per window flavour plus a stripe-map
+// pass — putting every data-race annotation in both sharded kernels
+// (lockstep and windowed), and the region boundaries of a maximally
+// interleaved ownership map, under the race detector with real
+// workloads. Results are bit-identical for every (shards, window, map)
+// triple, so the suites' assertions need no shard-specific cases.
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
+
+#include "common/config.hpp"
+#include "sim/shard.hpp"
 
 namespace glocks::test {
 
@@ -24,6 +29,13 @@ inline std::uint32_t env_shard_window() {
   const char* env = std::getenv("GLOCKS_SHARD_WINDOW");
   if (env == nullptr || *env == '\0') return 0;
   return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+}
+
+inline ShardMapPolicy env_shard_map() {
+  const char* env = std::getenv("GLOCKS_SHARD_MAP");
+  if (env == nullptr || *env == '\0') return ShardMapPolicy::kBlock;
+  const auto p = sim::parse_shard_map(env);
+  return p.value_or(ShardMapPolicy::kBlock);
 }
 
 }  // namespace glocks::test

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "result_diff.hpp"
+#include "sim/shard.hpp"
 #include "workloads/registry.hpp"
 
 namespace glocks {
@@ -35,21 +37,25 @@ harness::RunConfig base_config(locks::LockKind kind, std::uint64_t seed) {
 
 harness::RunResult run_sharded(const workloads::RegistryEntry& entry,
                                std::uint64_t seed, std::uint32_t shards,
-                               std::uint32_t window = 0) {
+                               std::uint32_t window = 0,
+                               ShardMapPolicy map = ShardMapPolicy::kBlock) {
   auto wl = entry.make(0.25);
   harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
   cfg.cmp.num_shards = shards;
   cfg.cmp.shard_window = window;
+  cfg.cmp.shard_map = map;
   return harness::run_workload(*wl, cfg);
 }
 
 harness::RunResult run_faulted(const workloads::RegistryEntry& entry,
                                std::uint64_t seed, std::uint32_t shards,
-                               std::uint32_t window = 0) {
+                               std::uint32_t window = 0,
+                               ShardMapPolicy map = ShardMapPolicy::kBlock) {
   auto wl = entry.make(0.25);
   harness::RunConfig cfg = base_config(locks::LockKind::kGlock, seed);
   cfg.cmp.num_shards = shards;
   cfg.cmp.shard_window = window;
+  cfg.cmp.shard_map = map;
   cfg.cmp.fault.enabled = true;
   cfg.cmp.fault.seed = seed * 31 + 5;
   cfg.cmp.fault.drop_rate = 1e-3;
@@ -114,6 +120,43 @@ TEST_P(EveryWorkload, WindowLengthsAreBitIdentical) {
   }
 }
 
+// The tile->shard ownership map is the third execution-strategy axis:
+// striped, quadrant, and profile-balanced maps must reproduce the
+// serial machine bit for bit at every shard count, windowed or not.
+// The stripe map deliberately interleaves adjacent tiles so the
+// lookahead horizon collapses toward lockstep — the worst case for the
+// window planner — and the profile map re-shards itself mid-run after
+// the activity warmup, so this also proves a live re-map between
+// cycles preserves the bits.
+TEST_P(EveryWorkload, OwnershipMapsAreBitIdentical) {
+  const auto& entry = workloads::registry()[GetParam()];
+  const auto serial = run_sharded(entry, 3, 1);
+  for (const ShardMapPolicy map :
+       {ShardMapPolicy::kStripe, ShardMapPolicy::kQuad,
+        ShardMapPolicy::kProfile}) {
+    for (const std::uint32_t shards : {2u, 4u}) {
+      const auto mapped = run_sharded(entry, 3, shards, 0, map);
+      const std::string diff = test::diff_results(serial, mapped);
+      EXPECT_EQ(diff, "") << entry.name << " map "
+                          << sim::shard_map_name(map) << " shards "
+                          << shards << ": " << diff;
+    }
+  }
+  // Capped windows under a maximally interleaved map, and auto windows
+  // at the full shard count under the quadrant map.
+  for (const auto& [map, shards, window] :
+       {std::tuple<ShardMapPolicy, std::uint32_t, std::uint32_t>{
+            ShardMapPolicy::kStripe, 4, 2},
+        {ShardMapPolicy::kQuad, 8, 0},
+        {ShardMapPolicy::kProfile, 8, 4}}) {
+    const auto mapped = run_sharded(entry, 3, shards, window, map);
+    const std::string diff = test::diff_results(serial, mapped);
+    EXPECT_EQ(diff, "") << entry.name << " map "
+                        << sim::shard_map_name(map) << " shards " << shards
+                        << " window " << window << ": " << diff;
+  }
+}
+
 // Fault injection must survive sharding untouched: every fate is a pure
 // hash of (seed, wire, cycle), and the G-line network plus the fault
 // injector tick in the sequential tail of each epoch, so the faulted
@@ -133,6 +176,15 @@ TEST_P(EveryWorkload, FaultedShardCountsAreBitIdentical) {
     const std::string diff = test::diff_results(serial, sharded);
     EXPECT_EQ(diff, "") << entry.name << " (faulted) shards " << shards
                         << " window " << window << ": " << diff;
+  }
+  // The ownership-map axis under G-line faults: the injector's
+  // pure-hash fates must not notice who owns which tile.
+  for (const ShardMapPolicy map :
+       {ShardMapPolicy::kStripe, ShardMapPolicy::kProfile}) {
+    const auto mapped = run_faulted(entry, 11, 4, 0, map);
+    const std::string diff = test::diff_results(serial, mapped);
+    EXPECT_EQ(diff, "") << entry.name << " (faulted) map "
+                        << sim::shard_map_name(map) << ": " << diff;
   }
 }
 
@@ -254,6 +306,106 @@ TEST(ShardCheckpoint, RestoreCrossesWindowLengths) {
           << (c.shards ? std::to_string(*c.shards) : "recorded")
           << " window "
           << (c.window ? std::to_string(*c.window) : "recorded") << ": "
+          << diff;
+    }
+  }
+  for (const std::string& path : written) std::remove(path.c_str());
+}
+
+// The ownership map crosses checkpoints the same way shard counts do:
+// the archive records the active tile->shard map (and, for profile
+// maps, whether it came from the in-run warmup), the restore replays
+// under exactly that map so the byte verification holds, and only the
+// post-verification tail re-maps to the requested policy.
+TEST(ShardCheckpoint, RestoreCrossesOwnershipMaps) {
+  const auto& entry = workloads::registry()[0];
+  ckpt::RunSpec spec;
+  spec.workload = entry.name;
+  spec.scale = 0.25;
+  spec.seed = 5;
+  spec.policy.highly_contended = locks::LockKind::kGlock;
+  spec.cmp.num_shards = 4;
+  spec.cmp.shard_map = ShardMapPolicy::kQuad;
+
+  const auto baseline = run_sharded(entry, spec.seed, 1);
+  ASSERT_GT(baseline.cycles, 200u);
+  const Cycle pause = baseline.cycles / 2;
+  const std::string dir = ::testing::TempDir();
+
+  std::vector<std::string> written;
+  ckpt::run_with_checkpoints(spec, {pause}, dir, &written);
+  ASSERT_EQ(written.size(), 1u);
+  const auto meta = ckpt::read_checkpoint_meta(written[0]);
+  EXPECT_EQ(meta.spec.cmp.shard_map, ShardMapPolicy::kQuad);
+  EXPECT_FALSE(meta.map_from_warmup);
+  EXPECT_EQ(meta.tile_map.size(), meta.spec.cmp.mesh_tiles());
+
+  struct Combo {
+    std::optional<std::uint32_t> shards;
+    std::optional<ShardMapPolicy> map;
+  };
+  const Combo combos[] = {
+      {{}, {}},                           // finish exactly as recorded
+      {{}, ShardMapPolicy::kStripe},      // re-map the tail
+      {{}, ShardMapPolicy::kBlock},
+      {8u, ShardMapPolicy::kStripe},      // re-shard AND re-map
+      {1u, {}},                           // serial tail: map irrelevant
+  };
+  for (const Combo& c : combos) {
+    const auto restored = ckpt::restore_and_run(written[0], c.shards, {},
+                                                c.map);
+    const std::string diff = test::diff_results(baseline, restored);
+    EXPECT_EQ(diff, "")
+        << "quad checkpoint restored at map "
+        << (c.map ? sim::shard_map_name(*c.map) : "recorded") << " shards "
+        << (c.shards ? std::to_string(*c.shards) : "recorded") << ": "
+        << diff;
+  }
+  std::remove(written[0].c_str());
+}
+
+// A profile map born from the in-run warmup was NOT active from cycle
+// 0, so the restore must not pin it — the archive flags the provenance
+// and the replay re-runs the warmup instead, deterministically
+// reproducing both the map and the archive bytes. (Depending on where
+// the pause lands relative to the warmup the recorded map is either
+// the interim block split or the balanced one; both must verify and
+// finish bit-identically.)
+TEST(ShardCheckpoint, RestoreReplaysTheProfileWarmup) {
+  const auto& entry = workloads::registry()[0];
+  ckpt::RunSpec spec;
+  spec.workload = entry.name;
+  spec.scale = 0.25;
+  spec.seed = 5;
+  spec.policy.highly_contended = locks::LockKind::kGlock;
+  spec.cmp.num_shards = 4;
+  spec.cmp.shard_map = ShardMapPolicy::kProfile;  // no map file: warmup
+
+  const auto baseline = run_sharded(entry, spec.seed, 1);
+  ASSERT_GT(baseline.cycles, 200u);
+  // Two pauses: whichever side of the warmup boundary they land on,
+  // both archives must carry the warmup-provenance flag and restore
+  // byte-exactly.
+  const Cycle p1 = baseline.cycles / 3;
+  const Cycle p2 = 2 * baseline.cycles / 3;
+  const std::string dir = ::testing::TempDir();
+
+  std::vector<std::string> written;
+  ckpt::run_with_checkpoints(spec, {p1, p2}, dir, &written);
+  ASSERT_EQ(written.size(), 2u);
+  for (const std::string& path : written) {
+    const auto meta = ckpt::read_checkpoint_meta(path);
+    EXPECT_EQ(meta.spec.cmp.shard_map, ShardMapPolicy::kProfile);
+    EXPECT_TRUE(meta.map_from_warmup) << path;
+
+    for (const std::optional<ShardMapPolicy> map :
+         {std::optional<ShardMapPolicy>{},
+          std::optional<ShardMapPolicy>{ShardMapPolicy::kBlock}}) {
+      const auto restored = ckpt::restore_and_run(path, {}, {}, map);
+      const std::string diff = test::diff_results(baseline, restored);
+      EXPECT_EQ(diff, "")
+          << path << " (profile warmup) restored at map "
+          << (map ? sim::shard_map_name(*map) : "recorded") << ": "
           << diff;
     }
   }

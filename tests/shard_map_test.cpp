@@ -1,0 +1,264 @@
+// Shard ownership map unit tests: the pluggable tile->shard builders,
+// the lookahead-horizon safety property, and the map-file round trip.
+//
+// The property that matters most: lookahead_horizon() must never be
+// optimistic. For ANY ownership map — the static policies, profile
+// maps, and adversarial random assignments — the horizon has to equal
+// 1 + H_min * per_hop where H_min is the brute-force minimum Manhattan
+// distance between two tiles owned by different shards. An interleaved
+// map legitimately collapses the horizon toward lockstep (H_min = 1);
+// a horizon LARGER than the bound would let a shard run past a
+// neighbor's reach and break the bit-identity contract.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "sim/shard.hpp"
+
+namespace glocks {
+namespace {
+
+/// Independent oracle: minimum Manhattan distance between two tiles of
+/// different shards, or 0 when the map is single-shard.
+std::uint64_t brute_min_boundary_hops(
+    const std::vector<std::uint32_t>& map, std::uint32_t width) {
+  std::uint64_t best = 0;
+  bool any = false;
+  for (std::size_t a = 0; a < map.size(); ++a) {
+    for (std::size_t b = 0; b < map.size(); ++b) {
+      if (map[a] == map[b]) continue;
+      const std::int64_t ax = static_cast<std::int64_t>(a % width);
+      const std::int64_t ay = static_cast<std::int64_t>(a / width);
+      const std::int64_t bx = static_cast<std::int64_t>(b % width);
+      const std::int64_t by = static_cast<std::int64_t>(b / width);
+      const std::uint64_t d = static_cast<std::uint64_t>(
+          std::llabs(ax - bx) + std::llabs(ay - by));
+      if (!any || d < best) best = d;
+      any = true;
+    }
+  }
+  return any ? best : 0;
+}
+
+/// Deterministic LCG so the "random" maps are reproducible in a failure
+/// message without any global RNG state.
+std::uint32_t lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<std::uint32_t>(s >> 33);
+}
+
+/// Every shard owns at least one core tile (tile id < num_cores) —
+/// the invariant that guarantees each worker an engine slot.
+void expect_core_coverage(const std::vector<std::uint32_t>& map,
+                          std::uint32_t num_cores, std::uint32_t shards,
+                          const std::string& what) {
+  ASSERT_GE(map.size(), num_cores) << what;
+  std::vector<std::uint32_t> cores_owned(shards, 0);
+  for (std::size_t t = 0; t < map.size(); ++t) {
+    ASSERT_LT(map[t], shards) << what << ": tile " << t;
+    if (t < num_cores) ++cores_owned[map[t]];
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    EXPECT_GT(cores_owned[s], 0u)
+        << what << ": shard " << s << " owns no core tile";
+  }
+}
+
+struct Geometry {
+  std::uint32_t cores;
+  std::uint32_t width;
+  std::uint32_t height;
+};
+
+/// 4x4 and 8x8 square meshes (tiles == cores), plus a 3x3 with a
+/// router-only corner tile (8 cores, 9 tiles).
+const Geometry kGeoms[] = {{16, 4, 4}, {64, 8, 8}, {8, 3, 3}};
+
+const ShardMapPolicy kStaticPolicies[] = {ShardMapPolicy::kBlock,
+                                          ShardMapPolicy::kStripe,
+                                          ShardMapPolicy::kQuad};
+
+TEST(ShardMapHorizon, MatchesBruteForceForStaticPolicies) {
+  const Cycle per_hop = 2;
+  for (const auto& g : kGeoms) {
+    const std::uint32_t tiles = g.width * g.height;
+    for (const ShardMapPolicy p : kStaticPolicies) {
+      for (const std::uint32_t shards : {2u, 3u, 4u, 8u}) {
+        if (shards > g.cores) continue;
+        const auto map =
+            sim::build_shard_map(p, tiles, g.cores, g.width, shards);
+        const std::uint64_t bf = brute_min_boundary_hops(map, g.width);
+        const Cycle h = sim::lookahead_horizon(map, g.width, per_hop);
+        ASSERT_GT(bf, 0u) << "static policy produced a single shard";
+        // Exact, and therefore never past the brute-force bound.
+        EXPECT_EQ(h, 1 + bf * per_hop)
+            << sim::shard_map_name(p) << " " << g.width << "x" << g.height
+            << " shards=" << shards;
+        EXPECT_LE(h, 1 + bf * per_hop);
+      }
+    }
+  }
+}
+
+TEST(ShardMapHorizon, MatchesBruteForceForRandomMaps) {
+  const Cycle per_hop = 3;
+  std::uint64_t seed = 0x5eed;
+  for (const auto& g : kGeoms) {
+    const std::uint32_t tiles = g.width * g.height;
+    for (int trial = 0; trial < 64; ++trial) {
+      const std::uint32_t shards = 2 + lcg(seed) % 3;
+      std::vector<std::uint32_t> map(tiles);
+      for (auto& m : map) m = lcg(seed) % shards;
+      const std::uint64_t bf = brute_min_boundary_hops(map, g.width);
+      const Cycle h = sim::lookahead_horizon(map, g.width, per_hop);
+      if (bf == 0) {
+        EXPECT_EQ(h, kNoCycle) << "single-shard map must not window";
+      } else {
+        EXPECT_EQ(h, 1 + bf * per_hop)
+            << g.width << "x" << g.height << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(ShardMapBuilders, StaticPoliciesCoverEveryShardWithACoreTile) {
+  for (const auto& g : kGeoms) {
+    const std::uint32_t tiles = g.width * g.height;
+    for (const ShardMapPolicy p : kStaticPolicies) {
+      for (const std::uint32_t shards : {2u, 3u, 4u, 8u}) {
+        if (shards > g.cores) continue;
+        const auto map =
+            sim::build_shard_map(p, tiles, g.cores, g.width, shards);
+        ASSERT_EQ(map.size(), tiles);
+        expect_core_coverage(map, g.cores, shards,
+                             std::string(sim::shard_map_name(p)) +
+                                 " shards=" + std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardMapBuilders, BlockReproducesTheHistoricalContiguousSplit) {
+  // kBlock must be byte-for-byte the pre-map-era formula, core by core:
+  // shard_of_core(c) = c * shards / cores. That is what keeps existing
+  // sharded runs (and their checkpoints) reproducing identical bytes.
+  for (const auto& g : kGeoms) {
+    const std::uint32_t tiles = g.width * g.height;
+    for (const std::uint32_t shards : {2u, 4u}) {
+      const auto map = sim::build_shard_map(ShardMapPolicy::kBlock, tiles,
+                                            g.cores, g.width, shards);
+      for (std::uint32_t c = 0; c < g.cores; ++c) {
+        EXPECT_EQ(map[c], static_cast<std::uint64_t>(c) * shards / g.cores);
+      }
+    }
+  }
+}
+
+TEST(ShardMapBuilders, StripeInterleavesRoundRobin) {
+  const auto map =
+      sim::build_shard_map(ShardMapPolicy::kStripe, 16, 16, 4, 4);
+  for (std::uint32_t c = 0; c < 16; ++c) EXPECT_EQ(map[c], c % 4);
+}
+
+TEST(ShardMapBuilders, ProfileBalancesSkewedCostsBetterThanBlock) {
+  // Hot tiles concentrated where the block split piles them onto shard
+  // 0; the LPT balancer must spread them. Compare max/mean shard load.
+  for (const auto& g : kGeoms) {
+    const std::uint32_t tiles = g.width * g.height;
+    const std::uint32_t shards = 4;
+    if (shards > g.cores) continue;
+    std::vector<std::uint64_t> cost(tiles, 1);
+    for (std::uint32_t t = 0; t < g.cores / 4; ++t) cost[t] = 1000;
+    const auto profile =
+        sim::build_profile_map(cost, g.cores, g.width, shards);
+    const auto block = sim::build_shard_map(ShardMapPolicy::kBlock, tiles,
+                                            g.cores, g.width, shards);
+    ASSERT_EQ(profile.size(), tiles);
+    expect_core_coverage(profile, g.cores, shards, "profile");
+    const auto ratio = [&](const std::vector<std::uint32_t>& map) {
+      std::vector<std::uint64_t> load(shards, 0);
+      std::uint64_t total = 0;
+      for (std::uint32_t t = 0; t < tiles; ++t) {
+        load[map[t]] += cost[t];
+        total += cost[t];
+      }
+      std::uint64_t peak = 0;
+      for (const auto l : load) peak = std::max(peak, l);
+      return static_cast<double>(peak) * shards /
+             static_cast<double>(total);
+    };
+    EXPECT_LE(ratio(profile), ratio(block))
+        << g.width << "x" << g.height
+        << ": the balancer lost to the contiguous split";
+  }
+}
+
+TEST(ShardMapBuilders, ProfileIsDeterministic) {
+  std::vector<std::uint64_t> cost(16);
+  std::uint64_t seed = 99;
+  for (auto& c : cost) c = lcg(seed) % 10000;
+  const auto a = sim::build_profile_map(cost, 16, 4, 4);
+  const auto b = sim::build_profile_map(cost, 16, 4, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardMapNames, ParseAndNameRoundTrip) {
+  for (const ShardMapPolicy p :
+       {ShardMapPolicy::kBlock, ShardMapPolicy::kStripe,
+        ShardMapPolicy::kQuad, ShardMapPolicy::kProfile}) {
+    const auto parsed = sim::parse_shard_map(sim::shard_map_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(sim::parse_shard_map("contiguous").has_value());
+  EXPECT_FALSE(sim::parse_shard_map("").has_value());
+}
+
+class ShardMapFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "shard_map_test.map";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(ShardMapFileTest, SaveLoadRoundTrip) {
+  const auto map =
+      sim::build_shard_map(ShardMapPolicy::kQuad, 16, 16, 4, 4);
+  ASSERT_TRUE(sim::save_shard_map(path_, map, 4));
+  const auto loaded = sim::load_shard_map(path_, 16, 4);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, map);
+}
+
+TEST_F(ShardMapFileTest, RejectsGeometryMismatch) {
+  const auto map =
+      sim::build_shard_map(ShardMapPolicy::kStripe, 16, 16, 4, 4);
+  ASSERT_TRUE(sim::save_shard_map(path_, map, 4));
+  EXPECT_FALSE(sim::load_shard_map(path_, 64, 4).has_value());  // tiles
+  EXPECT_FALSE(sim::load_shard_map(path_, 16, 8).has_value());  // shards
+}
+
+TEST_F(ShardMapFileTest, RejectsMissingAndMalformedFiles) {
+  EXPECT_FALSE(sim::load_shard_map(path_ + ".absent", 16, 4).has_value());
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("shards 4\ntiles 16\n0 1 bogus 2\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(sim::load_shard_map(path_, 16, 4).has_value());
+}
+
+TEST_F(ShardMapFileTest, RejectsMapsWithAnEmptyShard) {
+  // All 16 tiles on shard 0 of a claimed 4-shard map: a worker with no
+  // tiles (and no engine slots) must never be installed from a file.
+  std::vector<std::uint32_t> map(16, 0);
+  ASSERT_TRUE(sim::save_shard_map(path_, map, 4));
+  EXPECT_FALSE(sim::load_shard_map(path_, 16, 4).has_value());
+}
+
+}  // namespace
+}  // namespace glocks

@@ -110,6 +110,7 @@ SoakOutcome run_soak(std::uint64_t seed, std::uint32_t cores,
   cfg.num_cores = cores;
   cfg.num_shards = shards != 0 ? shards : test::env_shards();
   cfg.shard_window = test::env_shard_window();
+  cfg.shard_map = test::env_shard_map();
   cfg.l1.size_bytes = 2 * 1024;        // brutal: constant evictions
   cfg.l2.slice_size_bytes = 16 * 1024;
   harness::CmpSystem sys(cfg);
